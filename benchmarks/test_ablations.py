@@ -1,0 +1,67 @@
+"""Ablation benchmarks: the mechanisms behind the paper's results.
+
+Each one turns a design choice off (or sweeps it) and shows the effect
+the paper attributes to it.
+"""
+
+from repro.bench.ablations import (
+    ablate_cache_size,
+    ablate_cpu_speed,
+    ablate_fragmentation,
+    ablate_nvram_bypass,
+    ablate_readahead,
+)
+
+from benchmarks.conftest import show
+
+
+def test_fragmentation_hurts_logical_not_physical(benchmark):
+    table = benchmark.pedantic(ablate_fragmentation, rounds=1, iterations=1)
+    show(table, "ablation-fragmentation")
+    logical_young = table.row("rounds=0 logical dump MB/s").measured
+    logical_aged = table.row("rounds=3 logical dump MB/s").measured
+    physical_young = table.row("rounds=0 physical dump MB/s").measured
+    physical_aged = table.row("rounds=3 physical dump MB/s").measured
+    # "A mature data set is typically slower to backup than a newly
+    # created one because of fragmentation" — for LOGICAL dump.
+    assert logical_aged < logical_young
+    # Image dump reads in physical order: aging barely touches it.
+    assert physical_aged > physical_young * 0.85
+
+
+def test_nvram_bypass_speeds_logical_restore(benchmark):
+    table = benchmark.pedantic(ablate_nvram_bypass, rounds=1, iterations=1)
+    show(table, "ablation-nvram")
+    through = table.row("through NVRAM total elapsed").measured
+    bypassed = table.row("bypassing NVRAM total elapsed").measured
+    # Footnote 2: avoiding NVRAM is a pure win for restore.
+    assert bypassed <= through
+
+
+def test_readahead_window(benchmark):
+    table = benchmark.pedantic(ablate_readahead, rounds=1, iterations=1)
+    show(table, "ablation-readahead")
+    serialized = table.row("window=1 logical files MB/s").measured
+    filerate = [row.measured for row in table.rows][-1]
+    assert filerate >= serialized
+
+
+def test_cache_size_matters_for_restore(benchmark):
+    table = benchmark.pedantic(ablate_cache_size, rounds=1, iterations=1)
+    show(table, "ablation-cache")
+    tiny = table.row("cache=64 blocks cold metadata reads").measured
+    big = table.row("cache=16384 blocks cold metadata reads").measured
+    assert big < tiny
+    tiny_hits = table.row("cache=64 blocks hit rate").measured
+    big_hits = table.row("cache=16384 blocks hit rate").measured
+    assert big_hits >= tiny_hits
+
+
+def test_second_cpu_lifts_logical_parallel(benchmark):
+    table = benchmark.pedantic(ablate_cpu_speed, rounds=1, iterations=1)
+    show(table, "ablation-cpu")
+    one = table.row("cpus=1 logical files MB/s (4 drives)").measured
+    two = table.row("cpus=2 logical files MB/s (4 drives)").measured
+    # Logical's parallel scaling is CPU-gated (Section 5.3): a second CPU
+    # buys real throughput.
+    assert two > one * 1.05

@@ -1,0 +1,21 @@
+"""Section 5.1's side experiment: concurrent dumps of home and rlse.
+
+"The resource requirements of both logical dump and physical dump are low
+enough that concurrent backups of the home and rlse volumes did not
+interfere with each other at all."
+"""
+
+from repro.bench.harness import run_concurrent_volumes
+
+from benchmarks.conftest import show
+
+
+def test_concurrent_volumes(benchmark):
+    table = benchmark.pedantic(run_concurrent_volumes, rounds=1, iterations=1)
+    show(table, "concurrent")
+    solo = table.row("home solo elapsed").measured
+    concurrent = table.row("home concurrent elapsed").measured
+    assert concurrent < solo * 1.25
+    solo_rlse = table.row("rlse solo elapsed").measured
+    concurrent_rlse = table.row("rlse concurrent elapsed").measured
+    assert concurrent_rlse < solo_rlse * 1.25

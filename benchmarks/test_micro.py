@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the substrate's hot paths (real wall-clock timing).
+
+Unlike the table benchmarks (which measure *simulated* device time), these
+measure the Python implementation itself: useful for tracking performance
+regressions of the library.
+"""
+
+import pytest
+
+from repro.dumpfmt.records import RecordHeader
+from repro.dumpfmt.spec import TS_INODE
+from repro.units import MB
+from repro.wafl.blockmap import BlockMap
+from repro.workload.distributions import deterministic_bytes
+
+from tests.conftest import make_drive, make_fs
+
+
+def test_blockmap_allocate_free(benchmark):
+    blockmap = BlockMap(100000, reserved=8)
+
+    def cycle():
+        start, count = blockmap.allocate_run(32, 8)
+        for block in range(start, start + count):
+            blockmap.free_active(block)
+
+    benchmark(cycle)
+
+
+def test_header_pack_unpack(benchmark):
+    header = RecordHeader(TS_INODE, 42)
+    header.size = 123456
+    header.count = 16
+    header.segment_map = [1] * 16
+
+    def cycle():
+        RecordHeader.unpack(header.pack())
+
+    benchmark(cycle)
+
+
+def test_fs_create_write(benchmark):
+    fs = make_fs(blocks_per_disk=20000)
+    payload = deterministic_bytes(1, 64 * 1024)
+    counter = [0]
+
+    def cycle():
+        counter[0] += 1
+        fs.create("/f%d" % counter[0], payload)
+
+    benchmark.pedantic(cycle, rounds=30, iterations=1)
+
+
+def test_fs_read(benchmark):
+    fs = make_fs(blocks_per_disk=8000)
+    fs.create("/big", deterministic_bytes(2, 2 * MB))
+
+    benchmark(lambda: fs.read_file("/big"))
+
+
+def test_consistency_point(benchmark):
+    fs = make_fs(blocks_per_disk=8000)
+    counter = [0]
+
+    def cycle():
+        counter[0] += 1
+        fs.write_file("/churn%d" % counter[0], b"x" * 8192, 0) \
+            if fs.exists("/churn%d" % counter[0]) else \
+            fs.create("/churn%d" % counter[0], b"x" * 8192)
+        fs.consistency_point()
+
+    benchmark.pedantic(cycle, rounds=20, iterations=1)
+
+
+def test_logical_dump_throughput(benchmark):
+    """Implementation throughput of the whole dump engine (data plane)."""
+    from repro.backup import DumpDates, LogicalDump, drain_engine
+    from repro.workload import WorkloadGenerator
+
+    fs = make_fs(blocks_per_disk=8000)
+    WorkloadGenerator(seed=3).populate(fs, 16 * MB)
+
+    def cycle():
+        drive = make_drive(capacity=256 * MB)
+        drain_engine(LogicalDump(fs, drive, dumpdates=DumpDates()).run())
+
+    benchmark.pedantic(cycle, rounds=3, iterations=1)
+
+
+def test_image_dump_throughput(benchmark):
+    from repro.backup import ImageDump, drain_engine
+    from repro.workload import WorkloadGenerator
+
+    fs = make_fs(blocks_per_disk=8000)
+    WorkloadGenerator(seed=4).populate(fs, 16 * MB)
+    fs.snapshot_create("micro")
+
+    def cycle():
+        drive = make_drive(capacity=256 * MB)
+        drain_engine(ImageDump(fs, drive, snapshot_name="micro",
+                               manage_snapshot=False).run())
+
+    benchmark.pedantic(cycle, rounds=3, iterations=1)

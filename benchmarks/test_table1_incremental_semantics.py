@@ -1,0 +1,19 @@
+"""Table 1 — block states for incremental image dump.
+
+Regenerates the paper's truth table over a real mutated file system and
+checks that the incremental image dump ships exactly the "newly written"
+block set.
+"""
+
+from repro.bench.harness import run_table1
+
+from benchmarks.conftest import show
+
+
+def test_table1(benchmark):
+    def regenerate():
+        return run_table1()
+
+    table, checks = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    show(table, "table1")
+    assert checks["incremental_matches"]

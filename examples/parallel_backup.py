@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Parallel backup: reproduce the paper's multi-tape scaling result live.
+
+Sweeps 1, 2, and 4 DLT-7000 drives over the same aged volume and prints
+the throughput curve for both strategies — the paper's Section 5.2:
+
+* logical dump "cannot use multiple tape devices in parallel for a single
+  dump due to the strictly linear format", so the volume is split into
+  qtrees and dumped as concurrent jobs;
+* image dump stripes blocks across the drives natively;
+* physical scales almost linearly; logical saturates on CPU and scattered
+  disk reads.
+
+Run:  python examples/parallel_backup.py
+"""
+
+from repro.backup.jobs import (
+    aggregate_throughput,
+    parallel_image_dump,
+    parallel_logical_dump,
+)
+from repro.backup.logical.dump import STAGE_FILES
+from repro.backup.logical.dumpdates import DumpDates
+from repro.backup.physical.dump import STAGE_BLOCKS
+from repro.bench.configs import EliotConfig, build_home_env
+from repro.perf import TimedRun
+from repro.units import GB, HOUR, MB
+
+SCALE = 2000
+
+
+def main():
+    print("ndrives | logical MB/s (GB/h/tape) | physical MB/s (GB/h/tape)")
+    print("--------+--------------------------+--------------------------")
+    for ndrives in (1, 2, 4):
+        env = build_home_env(EliotConfig(scale=SCALE, qtrees=ndrives,
+                                         seed=13))
+        fs = env.home_fs
+        costs = env.config.cost_model()
+        data_bytes = env.data_bytes()
+
+        # Logical: one dump per qtree, one drive each.
+        run = TimedRun()
+        results = parallel_logical_dump(
+            run, fs, env.qtree_paths, env.new_drives(ndrives, "L"),
+            dumpdates=DumpDates(), costs=costs,
+        )
+        run.run()
+        stages = [r.stages[STAGE_FILES] for r in results.values()]
+        span = max(s.end for s in stages) - min(s.start for s in stages)
+        logical_rate = sum(s.tape_bytes for s in stages) / MB / span
+
+        # Physical: one image striped over all drives.
+        run = TimedRun()
+        presult = parallel_image_dump(
+            run, fs, env.new_drives(ndrives, "P"),
+            snapshot_name="sweep.%d" % ndrives, costs=costs,
+        )
+        run.run()
+        pstage = presult.stages[STAGE_BLOCKS]
+        physical_rate = pstage.tape_bytes / MB / pstage.elapsed
+        fs.snapshot_delete("sweep.%d" % ndrives)
+
+        def per_tape(rate):
+            return rate * 3600 / 1024 / ndrives
+
+        print("   %d    |        %6.2f (%5.1f)    |        %6.2f (%5.1f)"
+              % (ndrives, logical_rate, per_tape(logical_rate),
+                 physical_rate, per_tape(physical_rate)))
+
+    print()
+    print("Paper's 4-drive summary: logical 69.6 GB/h (17.4/tape),"
+          " physical 110 GB/h (27.6/tape).")
+    print("The shape to notice: physical scales nearly linearly;"
+          " logical's per-tape efficiency decays as the CPU saturates and"
+          " the inode-order reads scatter.")
+
+
+if __name__ == "__main__":
+    main()

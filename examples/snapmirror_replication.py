@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Volume mirroring over incremental image transfers (Section 6).
+
+"The image dump/restore technology also has potential application to
+remote mirroring and replication of volumes."  This example runs that
+future-work feature: a disaster-recovery replica kept in step by shipping
+snapshot bit-plane differences — each update's cost proportional to the
+churn, never to the volume size.
+
+Run:  python examples/snapmirror_replication.py
+"""
+
+from repro.backup import verify_trees
+from repro.bench.configs import EliotConfig, build_home_env
+from repro.mirror import MirrorRelationship
+from repro.units import fmt_bytes
+from repro.workload import MutationConfig, apply_mutations
+
+
+def main():
+    print("Primary site: building the production volume...")
+    env = build_home_env(EliotConfig(scale=4000, seed=33))
+    primary = env.home_fs
+    tree = env.home_tree
+
+    print("DR site: identical geometry, empty media.")
+    replica_volume = env.fresh_home_volume()
+    mirror = MirrorRelationship(primary, replica_volume)
+
+    baseline = mirror.initialize()
+    print("\nBaseline transfer: %d blocks (%s)"
+          % (baseline.blocks, fmt_bytes(baseline.bytes_transferred)))
+
+    for hour in range(1, 5):
+        apply_mutations(primary, tree,
+                        MutationConfig(seed=200 + hour,
+                                       modify_fraction=0.02,
+                                       delete_fraction=0.005,
+                                       create_fraction=0.01,
+                                       rename_fraction=0.002))
+        update = mirror.update()
+        print("Hour %d update: %5d blocks (%s) — %.1f%% of baseline"
+              % (hour, update.blocks, fmt_bytes(update.bytes_transferred),
+                 100.0 * update.blocks / baseline.blocks))
+
+    replica = mirror.read_replica()
+    diffs = verify_trees(primary, replica, check_mtime=True, ignore=["/"])
+    assert not diffs, diffs[:5]
+    print("\nReplica verified identical to the primary after 4 updates.")
+    print("Source carries exactly one mirror snapshot (the next base): %s"
+          % mirror.baseline)
+    total = sum(t.bytes_transferred for t in mirror.transfers[1:])
+    print("Steady-state cost: %s moved across 4 updates vs %s for 4 full"
+          " copies — the bit-plane difference does the work."
+          % (fmt_bytes(total),
+             fmt_bytes(4 * baseline.bytes_transferred)))
+
+
+if __name__ == "__main__":
+    main()

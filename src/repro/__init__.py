@@ -1,0 +1,60 @@
+"""repro — a reproduction of *Logical vs. Physical File System Backup*.
+
+Hutchinson, Manley, Federwisch, Harris, Hitz, Kleiman, O'Malley.
+Proceedings of the 3rd Symposium on Operating Systems Design and
+Implementation (OSDI), February 1999.
+
+The package implements, from scratch, every system the paper's
+comparison rests on:
+
+* :mod:`repro.wafl` — a write-anywhere, copy-on-write file system with
+  snapshots (bit-plane block maps), consistency points, and an NVRAM
+  operation log;
+* :mod:`repro.raid` — the RAID-4 substrate with real XOR parity;
+* :mod:`repro.storage` — disk and DLT-7000 tape device models (data and
+  timing planes);
+* :mod:`repro.backup` — both backup strategies: the BSD-style logical
+  dump/restore (4-phase dump, desiccated-directory restore, incremental
+  levels 0-9, selective recovery) and the physical image dump/restore
+  (snapshot-bitmap block streaming, bit-plane incrementals, multi-drive
+  striping);
+* :mod:`repro.mirror` — Section 6's future work: volume replication over
+  incremental image transfers;
+* :mod:`repro.workload`, :mod:`repro.perf`, :mod:`repro.bench` — the
+  synthetic data sets, the calibrated performance model, and the harness
+  that regenerates every table in the paper's evaluation.
+
+Quick taste::
+
+    from repro.backup import LogicalDump, LogicalRestore, DumpDates, drain_engine
+    from repro.raid.layout import make_geometry
+    from repro.raid.volume import RaidVolume
+    from repro.storage.tape import TapeDrive, TapeStacker
+    from repro.wafl.filesystem import WaflFilesystem
+
+    fs = WaflFilesystem.format(RaidVolume(make_geometry(2, 4, 2500), name="home"))
+    fs.create("/hello.txt", b"back me up")
+    tape = TapeDrive(TapeStacker.with_blank_tapes(4, name="t0"))
+    drain_engine(LogicalDump(fs, tape, dumpdates=DumpDates()).run())
+
+See ``examples/quickstart.py`` for the full tour and DESIGN.md for the
+system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "backup",
+    "bench",
+    "dumpfmt",
+    "errors",
+    "mirror",
+    "nvram",
+    "perf",
+    "raid",
+    "sim",
+    "storage",
+    "units",
+    "wafl",
+    "workload",
+]

@@ -1,0 +1,72 @@
+"""The dumpdates database.
+
+Classic ``/etc/dumpdates``: for each (file system, subtree, level) the
+date of the most recent dump.  An incremental at level L backs up files
+changed since the most recent dump at any level strictly below L — the
+standard scheme the paper describes ("begins at level 0 and extends to
+level 9").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IncrementalError
+from repro.dumpfmt.spec import MAX_LEVEL, MIN_LEVEL
+
+
+class DumpDates:
+    """In-memory dumpdates with the BSD base-selection rule."""
+
+    def __init__(self):
+        # (fsid, subtree) -> {level: date}
+        self._records: Dict[Tuple[str, str], Dict[int, int]] = {}
+
+    @staticmethod
+    def _check_level(level: int) -> None:
+        if not MIN_LEVEL <= level <= MAX_LEVEL:
+            raise IncrementalError("dump level %d out of range" % level)
+
+    def record(self, fsid: str, subtree: str, level: int, date: int) -> None:
+        """Record a successful dump (dump -u behaviour)."""
+        self._check_level(level)
+        levels = self._records.setdefault((fsid, subtree), {})
+        levels[level] = date
+        # A fresh level-L dump supersedes older records at deeper levels.
+        for deeper in list(levels):
+            if deeper > level and levels[deeper] < date:
+                del levels[deeper]
+
+    def base_for(self, fsid: str, subtree: str, level: int) -> Tuple[int, Optional[int]]:
+        """The base date and base level for a level-``level`` dump.
+
+        Level 0 always uses the epoch (dump everything).  A deeper level
+        requires some dump at a strictly lower level; the most recent one
+        wins.
+        """
+        self._check_level(level)
+        if level == 0:
+            return 0, None
+        levels = self._records.get((fsid, subtree), {})
+        candidates = [
+            (date, lower) for lower, date in levels.items() if lower < level
+        ]
+        if not candidates:
+            raise IncrementalError(
+                "no lower-level dump recorded for %s:%s below level %d"
+                % (fsid, subtree, level)
+            )
+        date, base_level = max(candidates)
+        return date, base_level
+
+    def history(self, fsid: str, subtree: str) -> List[Tuple[int, int]]:
+        """(level, date) pairs recorded for a subtree, most recent first."""
+        levels = self._records.get((fsid, subtree), {})
+        return sorted(((lvl, d) for lvl, d in levels.items()),
+                      key=lambda pair: -pair[1])
+
+    def clear(self, fsid: str, subtree: str) -> None:
+        self._records.pop((fsid, subtree), None)
+
+
+__all__ = ["DumpDates"]

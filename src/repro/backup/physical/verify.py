@@ -1,0 +1,66 @@
+"""Image-stream verification: compare a tape against a volume.
+
+The read-back check an administrator runs after cutting an image tape:
+walk the stream and compare every chunk against the volume's current
+blocks, without writing anything.  (For a *snapshot* image this is valid
+as long as the snapshot still exists — its blocks are copy-on-write
+protected, so they cannot have changed.)
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+from repro.errors import FormatError
+from repro.backup.physical.image import (
+    CHUNK_HEADER_SIZE,
+    ImageHeader,
+    try_unpack_trailer,
+    unpack_chunk_header,
+)
+
+
+def compare_image(volume, drives, max_problems: int = 20) -> List[str]:
+    """Differences between an image stream and the volume (empty = match)."""
+    if not isinstance(drives, (list, tuple)):
+        drives = [drives]
+    problems: List[str] = []
+    block_size = volume.block_size
+    for drive in drives:
+        drive.rewind()
+        header = ImageHeader.unpack_from_stream(drive.read)
+        if volume.geometry != header.geometry:
+            problems.append("geometry differs from the image")
+            return problems
+        blocks_seen = 0
+        while True:
+            raw = drive.read(CHUNK_HEADER_SIZE)
+            total = try_unpack_trailer(raw)
+            if total is not None:
+                if total != blocks_seen:
+                    problems.append(
+                        "stream on %s truncated: trailer %d, saw %d"
+                        % (drive.name, total, blocks_seen)
+                    )
+                break
+            start, count, crc = unpack_chunk_header(raw)
+            data = drive.read(count * block_size)
+            if zlib.crc32(data) != crc:
+                problems.append("chunk at block %d corrupt on tape" % start)
+                blocks_seen += count
+                continue
+            live = volume.read_run(start, count)
+            if live != data:
+                for index in range(count):
+                    lo = index * block_size
+                    if live[lo : lo + block_size] != data[lo : lo + block_size]:
+                        problems.append("block %d differs" % (start + index))
+                        if len(problems) >= max_problems:
+                            problems.append("... (stopping)")
+                            return problems
+            blocks_seen += count
+    return problems
+
+
+__all__ = ["compare_image"]

@@ -1,0 +1,32 @@
+"""The experiment harness: regenerate every table in the paper.
+
+:mod:`repro.bench.configs` builds scaled replicas of the paper's testbed
+("eliot"), :mod:`repro.bench.harness` runs each experiment,
+:mod:`repro.bench.paper` holds the published numbers, and
+:mod:`repro.bench.report` renders side-by-side comparisons.  The
+``benchmarks/`` directory wires each table to pytest-benchmark.
+"""
+
+from repro.bench.configs import EliotConfig, ExperimentEnv, build_home_env
+from repro.bench.harness import (
+    run_concurrent_volumes,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table45,
+)
+from repro.bench.report import Row, Table, format_table
+
+__all__ = [
+    "EliotConfig",
+    "ExperimentEnv",
+    "Row",
+    "Table",
+    "build_home_env",
+    "format_table",
+    "run_concurrent_volumes",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table45",
+]

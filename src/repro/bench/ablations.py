@@ -1,0 +1,192 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Each ablation isolates one mechanism behind the paper's results:
+
+* **Fragmentation** — the "mature data set" footnote: logical dump slows
+  as the file system ages; image dump barely notices.
+* **NVRAM bypass** — footnote 2: logical restore goes through NVRAM
+  "though there is no inherent need"; bypassing it buys back restore time.
+* **Read-ahead** — the kernel dump's own read-ahead policy; with the
+  window forced to 1 the producer serializes behind every seek.
+* **Buffer cache** — metadata caching; a cold-cache restore pays a disk
+  op for every namei step.
+
+Ablations run at a reduced scale (they sweep several configurations) and
+report the metric the mechanism moves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import repro.backup.logical.dump as logical_dump_module
+from repro.backup.logical.dump import STAGE_FILES, LogicalDump
+from repro.backup.logical.dumpdates import DumpDates
+from repro.backup.logical.restore import STAGE_FILL, LogicalRestore
+from repro.backup.physical.dump import STAGE_BLOCKS, ImageDump
+from repro.bench.configs import EliotConfig, build_home_env
+from repro.bench.report import Table
+from repro.nvram.log import NvramLog
+from repro.perf.costs import CostModel, HardwareProfile
+from repro.perf.executor import TimedRun
+from repro.wafl.filesystem import WaflFilesystem
+
+ABLATION_SCALE = 4000  # ~47 MB home replica: seconds per configuration
+
+
+def _dump_rate(env, engine, profile: Optional[HardwareProfile] = None) -> float:
+    run = TimedRun(profile)
+    run.add_job("job", engine)
+    result = run.run()["job"]
+    stage = result.stages.get(STAGE_FILES) or result.stages[STAGE_BLOCKS]
+    return stage.tape_rate
+
+
+def ablate_fragmentation() -> Table:
+    """Aging sweep: who pays for a mature file system?
+
+    The DLT hides the effect at one drive (both strategies are tape
+    bound), so the sweep runs with a fast tape (30 MB/s) — the
+    "remove the bottleneck device" methodology of Section 5.1 — and the
+    disk-side difference shows directly.
+    """
+    from repro.units import MB as _MB
+
+    table = Table("Ablation — fragmentation (aging rounds) vs. dump rate")
+    fast_tape = HardwareProfile(tape_rate=30.0 * _MB)
+    for rounds in (0, 1, 3):
+        env = build_home_env(EliotConfig(scale=ABLATION_SCALE,
+                                         aging_rounds=rounds,
+                                         churn_fraction=0.28,
+                                         seed=2000))
+        costs = env.config.cost_model()
+        logical = _dump_rate(env, LogicalDump(
+            env.home_fs, env.new_drive(), dumpdates=DumpDates(), costs=costs
+        ).run(), fast_tape)
+        physical = _dump_rate(env, ImageDump(
+            env.home_fs, env.new_drive(), costs=costs
+        ).run(), fast_tape)
+        frag = env.fragmentation["mean_extent_blocks"]
+        table.add("rounds=%d mean extent (blocks)" % rounds, frag)
+        table.add("rounds=%d logical dump MB/s" % rounds, logical)
+        table.add("rounds=%d physical dump MB/s" % rounds, physical)
+    return table
+
+
+def ablate_nvram_bypass() -> Table:
+    """Footnote 2: logical restore with and without the NVRAM logging cost.
+
+    "There is no inherent need for logical restore to go through NVRAM...
+    Modifying WAFL's logical restore to avoid NVRAM is in the works."
+    The file system still takes its consistency points either way; the
+    ablation removes only the per-block log charge.
+    """
+    table = Table("Ablation — logical restore through vs. bypassing NVRAM")
+    env = build_home_env(EliotConfig(scale=ABLATION_SCALE, seed=2001))
+    drive = env.new_drive("nvram-ab")
+    run = TimedRun()
+    run.add_job("dump", LogicalDump(env.home_fs, drive,
+                                    dumpdates=DumpDates(),
+                                    costs=env.config.cost_model()).run())
+    run.run()
+
+    for label, bypass in (("through NVRAM", False), ("bypassing NVRAM", True)):
+        costs = env.config.cost_model()
+        if bypass:
+            costs.restore_nvram_block = 0.0
+        target = WaflFilesystem.format(env.fresh_home_volume(),
+                                       nvram=NvramLog())
+        run = TimedRun()
+        run.add_job("restore", LogicalRestore(target, drive,
+                                              costs=costs).run())
+        result = run.run()["restore"]
+        fill = result.stages[STAGE_FILL]
+        table.add("%s fill MB/s" % label, fill.tape_rate)
+        table.add("%s fill CPU" % label, fill.cpu_utilization(), unit="%")
+        table.add("%s total elapsed" % label, result.elapsed, unit="s")
+    return table
+
+
+def ablate_readahead() -> Table:
+    """Dump's read-ahead window: 1 (serialized) vs. the default."""
+    table = Table("Ablation — dump read-ahead window vs. file-stage rate")
+    env = build_home_env(EliotConfig(scale=ABLATION_SCALE))
+    costs = env.config.cost_model()
+    original = logical_dump_module.READAHEAD_EXTENTS
+    try:
+        for window in (1, 2, original):
+            logical_dump_module.READAHEAD_EXTENTS = window
+            rate = _dump_rate(env, LogicalDump(
+                env.home_fs, env.new_drive(), dumpdates=DumpDates(),
+                costs=costs,
+            ).run())
+            table.add("window=%d logical files MB/s" % window, rate)
+    finally:
+        logical_dump_module.READAHEAD_EXTENTS = original
+    return table
+
+
+def ablate_cache_size() -> Table:
+    """Buffer cache: cold metadata reads during logical restore."""
+    from repro.perf.ops import DiskReadOp
+
+    table = Table("Ablation — buffer cache size vs. cold metadata reads")
+    env = build_home_env(EliotConfig(scale=ABLATION_SCALE, seed=2002))
+    costs = env.config.cost_model()
+    drive = env.new_drive("cache-ab")
+    run = TimedRun()
+    run.add_job("dump", LogicalDump(env.home_fs, drive,
+                                    dumpdates=DumpDates(), costs=costs).run())
+    run.run()
+    for cache_blocks in (64, 1024, 16384):
+        target = WaflFilesystem.format(env.fresh_home_volume(),
+                                       nvram=NvramLog(),
+                                       cache_blocks=cache_blocks)
+        run = TimedRun()
+        run.add_job("restore", LogicalRestore(target, drive,
+                                              costs=costs).run())
+        result = run.run()["restore"]
+        cold_reads = sum(
+            op.nblocks for op in run._jobs[0].ops
+            if isinstance(op, DiskReadOp)
+        )
+        table.add("cache=%d blocks cold metadata reads" % cache_blocks,
+                  cold_reads)
+        table.add("cache=%d blocks hit rate" % cache_blocks,
+                  target.volume.cache.hit_rate, unit="%")
+        table.add("cache=%d blocks restore elapsed" % cache_blocks,
+                  result.elapsed, unit="s")
+    return table
+
+
+def ablate_cpu_speed() -> Table:
+    """A faster CPU helps logical far more than physical (Section 5.3)."""
+    table = Table("Ablation — CPU count vs. 4-drive logical dump rate")
+    from repro.backup.jobs import parallel_logical_dump
+
+    env = build_home_env(EliotConfig(scale=ABLATION_SCALE, qtrees=4))
+    costs = env.config.cost_model()
+    for cpus in (1, 2):
+        profile = HardwareProfile(cpu_count=cpus)
+        run = TimedRun(profile)
+        results = parallel_logical_dump(
+            run, env.home_fs, env.qtree_paths, env.new_drives(4),
+            dumpdates=DumpDates(), costs=costs,
+        )
+        run.run()
+        stages = [r.stages[STAGE_FILES] for r in results.values()]
+        start = min(s.start for s in stages)
+        end = max(s.end for s in stages)
+        tape = sum(s.tape_bytes for s in stages)
+        table.add("cpus=%d logical files MB/s (4 drives)" % cpus,
+                  tape / 1e6 / (end - start))
+    return table
+
+
+__all__ = [
+    "ablate_cache_size",
+    "ablate_cpu_speed",
+    "ablate_fragmentation",
+    "ablate_nvram_bypass",
+    "ablate_readahead",
+]

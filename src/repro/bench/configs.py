@@ -1,0 +1,231 @@
+"""Scaled replicas of the paper's testbed.
+
+"eliot" was an F630 with two volumes: ``home`` (188 GB, 31 disks in 3
+RAID groups) and ``rlse`` (129 GB, 22 disks in 2 RAID groups), plus four
+DLT-7000 drives with stackers.  ``EliotConfig`` reproduces that shape at
+a configurable scale (default 1:1000 — 188 MB of real blocks), populates
+it with the synthetic workload, and ages it to maturity.
+
+Environments are cached per configuration because building an aged volume
+costs tens of seconds; benchmarks share them read-only (every dump runs
+from its own snapshot, so sharing is safe).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.raid.layout import geometry_for_capacity
+from repro.raid.volume import RaidVolume
+from repro.storage.tape import TapeDrive, TapeStacker
+from repro.units import GB, MB
+from repro.wafl.filesystem import WaflFilesystem
+from repro.workload.aging import AgingConfig, age_filesystem, fragmentation_report
+from repro.workload.generator import WorkloadGenerator
+from repro.bench import paper
+
+DEFAULT_SCALE = 1000
+
+
+class EliotConfig:
+    """Knobs for building the experiment environment."""
+
+    def __init__(
+        self,
+        scale: int = DEFAULT_SCALE,
+        seed: int = 1999,
+        aging_rounds: int = 2,
+        churn_fraction: float = 0.22,
+        qtrees: int = 0,
+        tape_capacity: int = 35 * GB,
+        tapes_per_stacker: int = 8,
+    ):
+        self.scale = scale
+        self.seed = seed
+        self.aging_rounds = aging_rounds
+        self.churn_fraction = churn_fraction
+        self.qtrees = qtrees
+        self.tape_capacity = tape_capacity
+        self.tapes_per_stacker = tapes_per_stacker
+
+    @property
+    def home_bytes(self) -> int:
+        return paper.HOME_BYTES // self.scale
+
+    @property
+    def rlse_bytes(self) -> int:
+        return paper.RLSE_BYTES // self.scale
+
+    def cost_model(self):
+        """Cost model with the fixed snapshot stages scaled like the data.
+
+        Snapshot create/delete take a real 30 s / 35 s regardless of
+        volume size; left unscaled they would dwarf the 1:1000 data
+        phases and (worse) their CPU share would starve concurrent jobs
+        in ways the real machine never sees.  The harness multiplies all
+        stage times back up by the scale when reporting.
+        """
+        from repro.perf.costs import CostModel
+
+        costs = CostModel()
+        costs.snapshot_create_seconds /= self.scale
+        costs.snapshot_delete_seconds /= self.scale
+        return costs
+
+    def cache_key(self) -> tuple:
+        return (
+            self.scale, self.seed, self.aging_rounds,
+            self.churn_fraction, self.qtrees,
+        )
+
+
+class ExperimentEnv:
+    """A built environment: volumes, file systems, drive factory."""
+
+    def __init__(self, config: EliotConfig):
+        self.config = config
+        self.home_volume: Optional[RaidVolume] = None
+        self.home_fs: Optional[WaflFilesystem] = None
+        self.home_tree = None
+        self.rlse_volume: Optional[RaidVolume] = None
+        self.rlse_fs: Optional[WaflFilesystem] = None
+        self.rlse_tree = None
+        self.qtree_paths: List[str] = []
+        self.fragmentation: Dict[str, float] = {}
+        self._drive_counter = 0
+
+    # -- building -----------------------------------------------------------
+
+    def _generator(self, seed: int) -> WorkloadGenerator:
+        """Workload generator with the file-size ceiling scaled to the
+        volume: the paper's 188 GB volume plausibly held files up to a
+        few GB; a 1:1000 replica should cap proportionally."""
+        from repro.workload.distributions import FileSizeDistribution
+
+        sizes = FileSizeDistribution(
+            max_bytes=max(256 * 1024, self.config.home_bytes // 24)
+        )
+        return WorkloadGenerator(sizes=sizes, seed=seed)
+
+    def build_home(self) -> None:
+        """``home``: 3 RAID groups of 10 data disks (31 spindles total)."""
+        config = self.config
+        geometry = geometry_for_capacity(
+            config.home_bytes, ngroups=3, ndata_disks=10, slack=1.6
+        )
+        self.home_volume = RaidVolume(geometry, name="home")
+        self.home_fs = WaflFilesystem.format(self.home_volume)
+        generator = self._generator(config.seed)
+        if config.qtrees:
+            from repro.backup.jobs import split_into_qtrees
+
+            self.qtree_paths = split_into_qtrees(
+                self.home_fs, generator, config.home_bytes, config.qtrees
+            )
+            self.home_tree = None
+        else:
+            self.home_tree = generator.populate(self.home_fs, config.home_bytes)
+        if config.aging_rounds:
+            tree = self.home_tree
+            if tree is None:
+                # Qtree mode: rebuild a file list for the aging pass.
+                from repro.workload.generator import GeneratedTree
+
+                tree = GeneratedTree()
+                for path, inode in self.home_fs.walk("/"):
+                    if inode.is_regular:
+                        tree.files.append(path)
+                    elif inode.is_dir and path != "/":
+                        tree.directories.append(path)
+            age_filesystem(
+                self.home_fs, tree,
+                AgingConfig(rounds=config.aging_rounds,
+                            churn_fraction=config.churn_fraction,
+                            seed=config.seed + 1),
+            )
+        self.home_fs.consistency_point()
+        self.fragmentation = fragmentation_report(self.home_fs)
+
+    def build_rlse(self) -> None:
+        """``rlse``: 2 RAID groups of 10 data disks (22 spindles total)."""
+        config = self.config
+        geometry = geometry_for_capacity(
+            config.rlse_bytes, ngroups=2, ndata_disks=10, slack=1.6
+        )
+        self.rlse_volume = RaidVolume(geometry, name="rlse")
+        self.rlse_fs = WaflFilesystem.format(self.rlse_volume)
+        generator = self._generator(config.seed + 77)
+        self.rlse_tree = generator.populate(self.rlse_fs, config.rlse_bytes)
+        if config.aging_rounds:
+            age_filesystem(
+                self.rlse_fs, self.rlse_tree,
+                AgingConfig(rounds=max(1, config.aging_rounds - 1),
+                            churn_fraction=config.churn_fraction,
+                            seed=config.seed + 78),
+            )
+        self.rlse_fs.consistency_point()
+
+    # -- devices --------------------------------------------------------------
+
+    def new_drive(self, label: str = "") -> TapeDrive:
+        self._drive_counter += 1
+        name = label or "dlt%d" % self._drive_counter
+        stacker = TapeStacker.with_blank_tapes(
+            self.config.tapes_per_stacker,
+            capacity=self.config.tape_capacity,
+            name=name,
+        )
+        return TapeDrive(stacker, name=name)
+
+    def new_drives(self, count: int, label: str = "dlt") -> List[TapeDrive]:
+        return [self.new_drive("%s%d" % (label, i)) for i in range(count)]
+
+    def fresh_home_volume(self) -> RaidVolume:
+        """An empty volume of home's geometry (disaster-recovery target)."""
+        return self.home_volume.clone_empty()
+
+    # -- scale accounting ----------------------------------------------------------
+
+    def data_bytes(self, volume: str = "home") -> int:
+        fs = self.home_fs if volume == "home" else self.rlse_fs
+        stats = fs.statfs()
+        return stats["active_blocks"] * stats["block_size"]
+
+    def paper_scale_seconds(self, model_seconds: float,
+                            fixed_seconds: float = 0.0) -> float:
+        """Extrapolate a data-proportional duration to paper scale.
+
+        ``fixed_seconds`` (snapshot stages) do not scale with data.
+        """
+        return fixed_seconds + (model_seconds - fixed_seconds) * self.config.scale
+
+
+_ENV_CACHE: Dict[tuple, ExperimentEnv] = {}
+
+
+def build_home_env(config: Optional[EliotConfig] = None,
+                   with_rlse: bool = False) -> ExperimentEnv:
+    """Build (or fetch the cached) experiment environment."""
+    config = config or EliotConfig()
+    key = config.cache_key() + (with_rlse,)
+    if key in _ENV_CACHE:
+        return _ENV_CACHE[key]
+    env = ExperimentEnv(config)
+    env.build_home()
+    if with_rlse:
+        env.build_rlse()
+    _ENV_CACHE[key] = env
+    return env
+
+
+def clear_env_cache() -> None:
+    _ENV_CACHE.clear()
+
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "EliotConfig",
+    "ExperimentEnv",
+    "build_home_env",
+    "clear_env_cache",
+]

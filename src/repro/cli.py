@@ -1,0 +1,587 @@
+"""``repro-backup`` — the command-line face of the library.
+
+Volumes and tapes live in container files on the host, so invocations
+compose the way a real backup workflow does::
+
+    repro-backup mkfs home.vol --groups 3 --disks 10 --blocks 2500
+    repro-backup populate home.vol --bytes 64MB --age 2
+    repro-backup put home.vol ./notes.txt /docs/notes.txt
+    repro-backup snap home.vol create nightly.0
+    repro-backup dump home.vol monday.tape --level 0 --dumpdates dd.json
+    repro-backup toc monday.tape
+    repro-backup verify home.vol monday.tape
+    repro-backup restore monday.tape new.vol --mkfs
+    repro-backup image-dump home.vol full.img --snapshot weekly
+    repro-backup image-restore full.img replica.vol
+    repro-backup fsck home.vol
+
+Run ``repro-backup <command> --help`` for each command's options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.backup import (
+    DumpDates,
+    ImageDump,
+    ImageRestore,
+    LogicalDump,
+    LogicalRestore,
+    SymbolTable,
+    drain_engine,
+)
+from repro.backup.logical.inspect import compare_tape, estimate_dump, list_tape
+from repro.errors import ReproError
+from repro.raid.layout import make_geometry
+from repro.raid.volume import RaidVolume
+from repro.storage.persist import load_tape, load_volume, save_tape, save_volume
+from repro.storage.tape import TapeDrive, TapeStacker
+from repro.units import GB, MB, fmt_bytes
+from repro.wafl.filesystem import WaflFilesystem
+from repro.wafl.fsck import fsck
+from repro.wafl.inode import FileType
+
+
+# ---------------------------------------------------------------------------
+# Small helpers
+# ---------------------------------------------------------------------------
+
+def _parse_size(text: str) -> int:
+    text = text.strip().upper()
+    for suffix, factor in (("GB", GB), ("MB", MB), ("KB", 1024), ("B", 1)):
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * factor)
+    return int(text)
+
+
+def _mount(path: str) -> WaflFilesystem:
+    return WaflFilesystem.mount(load_volume(path))
+
+
+def _commit(fs: WaflFilesystem, path: str) -> None:
+    fs.consistency_point()
+    save_volume(fs.volume, path)
+
+
+def _load_dumpdates(path) -> DumpDates:
+    dates = DumpDates()
+    if path and os.path.exists(path):
+        with open(path) as handle:
+            # Re-apply in date order so level supersession replays correctly.
+            records = sorted(json.load(handle).items(), key=lambda kv: kv[1])
+        for key, date in records:
+            fsid, subtree, level = key.rsplit("|", 2)
+            dates.record(fsid, subtree, int(level), date)
+    return dates
+
+
+def _save_dumpdates(dates: DumpDates, path) -> None:
+    if not path:
+        return
+    flat = {}
+    for (fsid, subtree), levels in dates._records.items():
+        for level, date in levels.items():
+            flat["%s|%s|%d" % (fsid, subtree, level)] = date
+    with open(path, "w") as handle:
+        json.dump(flat, handle, indent=2)
+
+
+def _load_symtab(path):
+    if not path or not os.path.exists(path):
+        return None
+    table = SymbolTable()
+    with open(path) as handle:
+        for ino, paths in json.load(handle).items():
+            table.set(int(ino), paths)
+    return table
+
+
+def _save_symtab(table: SymbolTable, path) -> None:
+    if not path or table is None:
+        return
+    with open(path, "w") as handle:
+        json.dump({str(ino): table.get(ino) for ino in table.inos()},
+                  handle, indent=2)
+
+
+def _new_tape(name: str, tapes: int, capacity: int) -> TapeDrive:
+    return TapeDrive(TapeStacker.with_blank_tapes(tapes, capacity=capacity,
+                                                  name=name))
+
+
+_TYPE_CHAR = {FileType.REGULAR: "-", FileType.DIRECTORY: "d",
+              FileType.SYMLINK: "l"}
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_mkfs(args) -> int:
+    volume = RaidVolume(
+        make_geometry(args.groups, args.disks, args.blocks),
+        name=args.name or os.path.basename(args.volume).split(".")[0],
+    )
+    fs = WaflFilesystem.format(volume)
+    _commit(fs, args.volume)
+    print("formatted %s: %s (%s usable)"
+          % (args.volume, volume.geometry.describe(),
+             fmt_bytes(volume.size_bytes)))
+    return 0
+
+
+def cmd_populate(args) -> int:
+    from repro.workload import AgingConfig, WorkloadGenerator, age_filesystem
+
+    fs = _mount(args.volume)
+    generator = WorkloadGenerator(seed=args.seed)
+    tree = generator.populate(fs, _parse_size(args.bytes))
+    if args.age:
+        age_filesystem(fs, tree, AgingConfig(rounds=args.age,
+                                             seed=args.seed + 1))
+    _commit(fs, args.volume)
+    print("populated %d files / %d dirs (%s)"
+          % (len(tree.files), len(tree.directories),
+             fmt_bytes(tree.total_bytes)))
+    return 0
+
+
+def cmd_ls(args) -> int:
+    fs = _mount(args.volume)
+    for path, inode in sorted(fs.walk(args.path)):
+        print("%s%s %4d %6d %10d  %s"
+              % (_TYPE_CHAR.get(inode.type, "?"),
+                 oct(inode.perms)[2:].rjust(4, "0"),
+                 inode.nlink, inode.uid, inode.size, path))
+    return 0
+
+
+def cmd_put(args) -> int:
+    fs = _mount(args.volume)
+    with open(args.source, "rb") as handle:
+        data = handle.read()
+    if fs.exists(args.dest):
+        fs.write_file(args.dest, data, 0)
+        fs.truncate(args.dest, len(data))
+    else:
+        fs.create(args.dest, data)
+    _commit(fs, args.volume)
+    print("wrote %s -> %s (%s)" % (args.source, args.dest,
+                                   fmt_bytes(len(data))))
+    return 0
+
+
+def cmd_get(args) -> int:
+    fs = _mount(args.volume)
+    data = fs.read_file(args.source)
+    with open(args.dest, "wb") as handle:
+        handle.write(data)
+    print("read %s -> %s (%s)" % (args.source, args.dest,
+                                  fmt_bytes(len(data))))
+    return 0
+
+
+def cmd_rm(args) -> int:
+    fs = _mount(args.volume)
+    inode = fs.inode(fs.namei(args.path))
+    if inode.is_dir:
+        fs.rmdir(args.path)
+    else:
+        fs.unlink(args.path)
+    _commit(fs, args.volume)
+    print("removed %s" % args.path)
+    return 0
+
+
+def cmd_snap(args) -> int:
+    fs = _mount(args.volume)
+    if args.action == "list":
+        for record in fs.snapshots():
+            print("%-24s plane=%d cp=%d" % (record.name, record.snap_id,
+                                            record.cp_count))
+        return 0
+    if args.action == "create":
+        fs.snapshot_create(args.name)
+        print("created snapshot %r" % args.name)
+    elif args.action == "delete":
+        freed = fs.snapshot_delete(args.name)
+        print("deleted snapshot %r (%d blocks freed)" % (args.name, freed))
+    _commit(fs, args.volume)
+    return 0
+
+
+def cmd_dump(args) -> int:
+    fs = _mount(args.volume)
+    dates = _load_dumpdates(args.dumpdates)
+    drive = _new_tape(os.path.basename(args.tape), args.tapes,
+                      _parse_size(args.tape_capacity))
+    result = drain_engine(
+        LogicalDump(fs, drive, level=args.level, subtree=args.subtree,
+                    dumpdates=dates).run()
+    )
+    save_tape(drive, args.tape)
+    _save_dumpdates(dates, args.dumpdates)
+    _commit(fs, args.volume)  # the dump's snapshot churn
+    print("DUMP: level %d of %s%s -> %s" % (args.level, args.volume,
+                                            args.subtree, args.tape))
+    print("DUMP: %d files, %d directories, %s"
+          % (result.files, result.directories,
+             fmt_bytes(result.bytes_to_tape)))
+    return 0
+
+
+def cmd_restore(args) -> int:
+    drive = load_tape(args.tape)
+    if args.mkfs:
+        volume = RaidVolume(make_geometry(args.groups, args.disks,
+                                          args.blocks),
+                            name=os.path.basename(args.volume).split(".")[0])
+        fs = WaflFilesystem.format(volume)
+    else:
+        fs = _mount(args.volume)
+    result = drain_engine(
+        LogicalRestore(fs, drive, into=args.into,
+                       symtab=_load_symtab(args.symtab),
+                       select=args.select or None,
+                       resync=args.resync).run()
+    )
+    _save_symtab(result.symtab, args.symtab)
+    _commit(fs, args.volume)
+    print("RESTORE: %d files extracted, %d created, %d deleted, %d skipped"
+          % (result.files, result.created, result.deleted, result.skipped))
+    for error in result.errors:
+        print("RESTORE: warning: %s" % error)
+    return 0
+
+
+def cmd_image_dump(args) -> int:
+    fs = _mount(args.volume)
+    drive = _new_tape(os.path.basename(args.image), args.tapes,
+                      _parse_size(args.tape_capacity))
+    result = drain_engine(
+        ImageDump(fs, drive, snapshot_name=args.snapshot,
+                  base_snapshot=args.base,
+                  include_snapshots=args.include_snapshots).run()
+    )
+    save_tape(drive, args.image)
+    _commit(fs, args.volume)
+    print("IMAGE DUMP: %d blocks (%s) -> %s%s"
+          % (result.blocks, fmt_bytes(result.bytes_to_tape), args.image,
+             " [incremental]" if result.incremental else ""))
+    return 0
+
+
+def cmd_image_restore(args) -> int:
+    drive = load_tape(args.image)
+    if os.path.exists(args.volume) and not args.fresh:
+        volume = load_volume(args.volume)
+    else:
+        # Geometry comes from the image header itself.
+        from repro.backup.physical.image import ImageHeader
+
+        drive.rewind()
+        header = ImageHeader.unpack_from_stream(drive.read)
+        volume = RaidVolume(header.geometry,
+                            name=os.path.basename(args.volume).split(".")[0])
+        drive.rewind()
+    result = drain_engine(ImageRestore(volume, drive).run())
+    save_volume(volume, args.volume)
+    print("IMAGE RESTORE: %d blocks onto %s (cp %d)"
+          % (result.blocks, args.volume, result.cp_count))
+    return 0
+
+
+def cmd_interactive(args) -> int:
+    """restore -i: read shell commands from stdin (scriptable)."""
+    from repro.backup.logical.interactive import InteractiveRestore
+
+    shell = InteractiveRestore(load_tape(args.tape))
+    print("interactive restore; commands: ls [p], cd p, pwd, add p,"
+          " delete p, marked, extract, quit")
+    for line in sys.stdin:
+        parts = line.split()
+        if not parts:
+            continue
+        verb, rest = parts[0], parts[1:]
+        try:
+            if verb == "quit":
+                break
+            elif verb == "pwd":
+                print(shell.pwd())
+            elif verb == "cd":
+                shell.cd(rest[0])
+            elif verb == "ls":
+                for name in shell.ls(rest[0] if rest else None):
+                    print(name)
+            elif verb == "add":
+                print("marked %s" % shell.add(rest[0]))
+            elif verb == "delete":
+                print("unmarked %s" % shell.delete(rest[0]))
+            elif verb == "marked":
+                for path in shell.marked():
+                    print(path)
+            elif verb == "extract":
+                fs = _mount(args.volume)
+                result = shell.extract(fs, into=args.into)
+                _commit(fs, args.volume)
+                print("extracted %d files" % result.files)
+            else:
+                print("unknown command %r" % verb)
+        except ReproError as error:
+            print("error: %s" % error)
+    return 0
+
+
+def cmd_toc(args) -> int:
+    drive = load_tape(args.tape)
+    catalog = list_tape(drive)
+    label = catalog.label
+    print("Dump of %s:%s level %d (%d objects)"
+          % (label.filesystem, label.subtree, label.level, len(catalog)))
+    for entry in catalog.entries:
+        print("%s%s %6d  %s"
+              % (_TYPE_CHAR.get(entry.ftype, "?"),
+                 oct(entry.perms)[2:].rjust(4, "0"),
+                 entry.size, entry.path))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    if args.image:
+        from repro.backup.physical import compare_image
+
+        volume = load_volume(args.volume)
+        problems = compare_image(volume, load_tape(args.tape))
+    else:
+        fs = _mount(args.volume)
+        problems = compare_tape(fs, load_tape(args.tape))
+    if not problems:
+        print("VERIFY: tape matches the file system")
+        return 0
+    for problem in problems:
+        print("VERIFY: %s" % problem)
+    return 1
+
+
+def cmd_estimate(args) -> int:
+    fs = _mount(args.volume)
+    dates = _load_dumpdates(args.dumpdates)
+    size = estimate_dump(fs, level=args.level, subtree=args.subtree,
+                         dumpdates=dates)
+    print("estimated level-%d dump of %s%s: %s (%d blocks of tape)"
+          % (args.level, args.volume, args.subtree, fmt_bytes(size),
+             (size + 1023) // 1024))
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    fs = _mount(args.volume)
+    report = fsck(fs, check_parity=args.parity)
+    save_volume(fs.volume, args.volume)  # fsck's CP
+    print("fsck: %d inodes, %d blocks checked"
+          % (report.inodes_checked, report.blocks_checked))
+    for error in report.errors:
+        print("fsck: ERROR: %s" % error)
+    for warning in report.warnings:
+        print("fsck: warning: %s" % warning)
+    print("fsck: %s" % ("clean" if report.clean else "DIRTY"))
+    return 0 if report.clean else 1
+
+
+def cmd_rebuild(args) -> int:
+    volume = load_volume(args.volume)
+    group = volume.groups[args.group]
+    group.rebuild_disk(args.disk)
+    save_volume(volume, args.volume)
+    print("rebuilt data disk %d of group %d onto a spare"
+          % (args.disk, args.group))
+    return 0
+
+
+def cmd_scrub(args) -> int:
+    volume = load_volume(args.volume)
+    repaired = sum(group.scrub() for group in volume.groups)
+    save_volume(volume, args.volume)
+    print("scrub: %d stripes repaired" % repaired)
+    return 0
+
+
+def cmd_df(args) -> int:
+    fs = _mount(args.volume)
+    stats = fs.statfs()
+    total = stats["total_blocks"] * stats["block_size"]
+    used = stats["used_blocks"] * stats["block_size"]
+    print("%-12s %10s %10s %10s %5.1f%%  snapshots: %d"
+          % (args.volume, fmt_bytes(total), fmt_bytes(used),
+             fmt_bytes(stats["free_blocks"] * stats["block_size"]),
+             100.0 * used / total, stats["snapshots"]))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-backup",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mkfs", help="create and format a volume container")
+    p.add_argument("volume")
+    p.add_argument("--groups", type=int, default=2)
+    p.add_argument("--disks", type=int, default=4)
+    p.add_argument("--blocks", type=int, default=2500,
+                   help="blocks per data disk")
+    p.add_argument("--name", default=None)
+    p.set_defaults(fn=cmd_mkfs)
+
+    p = sub.add_parser("populate", help="fill with a synthetic workload")
+    p.add_argument("volume")
+    p.add_argument("--bytes", default="16MB")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--age", type=int, default=0, help="aging rounds")
+    p.set_defaults(fn=cmd_populate)
+
+    p = sub.add_parser("ls", help="list a subtree")
+    p.add_argument("volume")
+    p.add_argument("path", nargs="?", default="/")
+    p.set_defaults(fn=cmd_ls)
+
+    p = sub.add_parser("put", help="copy a host file into the volume")
+    p.add_argument("volume")
+    p.add_argument("source")
+    p.add_argument("dest")
+    p.set_defaults(fn=cmd_put)
+
+    p = sub.add_parser("get", help="copy a file out to the host")
+    p.add_argument("volume")
+    p.add_argument("source")
+    p.add_argument("dest")
+    p.set_defaults(fn=cmd_get)
+
+    p = sub.add_parser("rm", help="remove a file or empty directory")
+    p.add_argument("volume")
+    p.add_argument("path")
+    p.set_defaults(fn=cmd_rm)
+
+    p = sub.add_parser("snap", help="manage snapshots")
+    p.add_argument("volume")
+    p.add_argument("action", choices=["create", "delete", "list"])
+    p.add_argument("name", nargs="?")
+    p.set_defaults(fn=cmd_snap)
+
+    p = sub.add_parser("dump", help="logical (BSD-style) dump to tape")
+    p.add_argument("volume")
+    p.add_argument("tape")
+    p.add_argument("--level", type=int, default=0)
+    p.add_argument("--subtree", default="/")
+    p.add_argument("--dumpdates", default=None,
+                   help="JSON dumpdates database (read + updated)")
+    p.add_argument("--tapes", type=int, default=8)
+    p.add_argument("--tape-capacity", default="35GB")
+    p.set_defaults(fn=cmd_dump)
+
+    p = sub.add_parser("restore", help="logical restore from tape")
+    p.add_argument("tape")
+    p.add_argument("volume")
+    p.add_argument("--into", default="/")
+    p.add_argument("--select", nargs="*", default=None,
+                   help="restore only these paths (stupidity recovery)")
+    p.add_argument("--symtab", default=None,
+                   help="JSON symbol table for incremental chains")
+    p.add_argument("--resync", action="store_true",
+                   help="skip corrupted tape regions")
+    p.add_argument("--mkfs", action="store_true",
+                   help="create a fresh file system first")
+    p.add_argument("--groups", type=int, default=2)
+    p.add_argument("--disks", type=int, default=4)
+    p.add_argument("--blocks", type=int, default=2500)
+    p.set_defaults(fn=cmd_restore)
+
+    p = sub.add_parser("image-dump", help="physical (image) dump")
+    p.add_argument("volume")
+    p.add_argument("image")
+    p.add_argument("--snapshot", default=None,
+                   help="snapshot to dump (created and kept if named)")
+    p.add_argument("--base", default=None,
+                   help="base snapshot: produce an incremental image")
+    p.add_argument("--include-snapshots", action="store_true")
+    p.add_argument("--tapes", type=int, default=8)
+    p.add_argument("--tape-capacity", default="35GB")
+    p.set_defaults(fn=cmd_image_dump)
+
+    p = sub.add_parser("image-restore", help="physical (image) restore")
+    p.add_argument("image")
+    p.add_argument("volume")
+    p.add_argument("--fresh", action="store_true",
+                   help="ignore an existing volume container")
+    p.set_defaults(fn=cmd_image_restore)
+
+    p = sub.add_parser("interactive",
+                       help="browse a tape and extract marks (restore -i)")
+    p.add_argument("tape")
+    p.add_argument("volume", help="target volume for 'extract'")
+    p.add_argument("--into", default="/")
+    p.set_defaults(fn=cmd_interactive)
+
+    p = sub.add_parser("toc", help="list a tape's contents (restore -t)")
+    p.add_argument("tape")
+    p.set_defaults(fn=cmd_toc)
+
+    p = sub.add_parser("verify", help="compare tape vs volume (restore -C)")
+    p.add_argument("volume")
+    p.add_argument("tape")
+    p.add_argument("--image", action="store_true",
+                   help="the tape is an image stream, not a dump stream")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("estimate", help="predict a dump's size (dump -S)")
+    p.add_argument("volume")
+    p.add_argument("--level", type=int, default=0)
+    p.add_argument("--subtree", default="/")
+    p.add_argument("--dumpdates", default=None)
+    p.set_defaults(fn=cmd_estimate)
+
+    p = sub.add_parser("fsck", help="check file-system invariants")
+    p.add_argument("volume")
+    p.add_argument("--parity", action="store_true",
+                   help="also audit RAID parity")
+    p.set_defaults(fn=cmd_fsck)
+
+    p = sub.add_parser("scrub", help="recompute RAID parity")
+    p.add_argument("volume")
+    p.set_defaults(fn=cmd_scrub)
+
+    p = sub.add_parser("rebuild", help="rebuild a failed data disk")
+    p.add_argument("volume")
+    p.add_argument("--group", type=int, required=True)
+    p.add_argument("--disk", type=int, required=True)
+    p.set_defaults(fn=cmd_rebuild)
+
+    p = sub.add_parser("df", help="show space usage")
+    p.add_argument("volume")
+    p.set_defaults(fn=cmd_df)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print("repro-backup: error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The BSD dump archival stream format.
+
+This package implements the inode-based, self-describing tape format that
+logical backup writes: 1 KB record headers (TS_TAPE / TS_CLRI / TS_BITS /
+TS_INODE / TS_ADDR / TS_END), 1 KB data segments with hole maps, inode
+maps at the front of the tape, and the NetApp attribute extensions (DOS
+names/bits/times, NT ACLs) carried in ways that do not break the base
+format — exactly the properties Section 3 of the paper discusses.
+
+The format is deliberately independent of the WAFL layer: a stream dumped
+from one volume restores onto a volume of totally different geometry
+(the "archival" property physical backup lacks).
+"""
+
+from repro.dumpfmt.records import RecordHeader, TapeLabel
+from repro.dumpfmt.spec import (
+    SEGMENT_SIZE,
+    TS_ACL,
+    TS_ADDR,
+    TS_BITS,
+    TS_CLRI,
+    TS_END,
+    TS_INODE,
+    TS_TAPE,
+)
+from repro.dumpfmt.stream import DumpStreamReader, DumpStreamWriter
+
+__all__ = [
+    "DumpStreamReader",
+    "DumpStreamWriter",
+    "RecordHeader",
+    "SEGMENT_SIZE",
+    "TS_ACL",
+    "TS_ADDR",
+    "TS_BITS",
+    "TS_CLRI",
+    "TS_END",
+    "TS_INODE",
+    "TS_TAPE",
+    "TapeLabel",
+]

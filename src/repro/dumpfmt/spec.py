@@ -1,0 +1,54 @@
+"""Constants of the dump stream format.
+
+The numbers mirror the classic BSD protocol where a counterpart exists
+(record types, the 1 KB header and segment sizes, 512-segment headers);
+the magic differs because the binary layout is this library's own — the
+*properties* (inode order, self-contained records, skippable unknown
+types) are what the reproduction preserves.
+"""
+
+from __future__ import annotations
+
+from repro.units import KB
+
+# Record types (TS_* names follow BSD dump).
+TS_TAPE = 1  # stream header: label, level, dates, maps follow
+TS_BITS = 3  # bitmap of inodes dumped on this tape
+TS_CLRI = 6  # bitmap of inodes free at dump time (restore clears them)
+TS_INODE = 2  # a file/directory/symlink, header + data segments
+TS_ADDR = 4  # continuation of the previous TS_INODE's data
+TS_END = 5  # end of stream
+TS_ACL = 7  # NetApp extension: NT ACL blob for the previous inode
+
+RECORD_TYPES = (TS_TAPE, TS_BITS, TS_CLRI, TS_INODE, TS_ADDR, TS_END, TS_ACL)
+
+# Geometry: 1 KB headers, 1 KB data segments, up to 512 segments described
+# per header (continuations use TS_ADDR).
+HEADER_SIZE = 1 * KB
+SEGMENT_SIZE = 1 * KB
+SEGMENTS_PER_HEADER = 512
+
+DUMP_MAGIC = 0x19990222  # OSDI '99, New Orleans
+DUMP_VERSION = 1
+
+# Incremental levels, 0 (full) through 9, as in the paper.
+MIN_LEVEL = 0
+MAX_LEVEL = 9
+
+__all__ = [
+    "DUMP_MAGIC",
+    "DUMP_VERSION",
+    "HEADER_SIZE",
+    "MAX_LEVEL",
+    "MIN_LEVEL",
+    "RECORD_TYPES",
+    "SEGMENTS_PER_HEADER",
+    "SEGMENT_SIZE",
+    "TS_ACL",
+    "TS_ADDR",
+    "TS_BITS",
+    "TS_CLRI",
+    "TS_END",
+    "TS_INODE",
+    "TS_TAPE",
+]

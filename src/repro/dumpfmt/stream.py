@@ -1,0 +1,331 @@
+"""Streaming writer/reader for the dump format.
+
+The writer is streaming-friendly: an inode's data is fed in 1 KB segments
+and headers are emitted every 512 segments (TS_INODE first, TS_ADDR
+continuations), so dump never buffers more than half a megabyte per file.
+
+The reader assembles inode records back together and can *resync* after a
+corrupted region by scanning forward for the next valid header — the
+property behind the paper's observation that "a minor tape corruption
+will usually affect only that single file".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.errors import FormatError
+from repro.dumpfmt.records import (
+    FLAG_HAS_ACL,
+    RecordHeader,
+    TapeLabel,
+    pack_inode_bitmap,
+    unpack_inode_bitmap,
+)
+from repro.dumpfmt.spec import (
+    HEADER_SIZE,
+    SEGMENTS_PER_HEADER,
+    SEGMENT_SIZE,
+    TS_ACL,
+    TS_ADDR,
+    TS_BITS,
+    TS_CLRI,
+    TS_END,
+    TS_INODE,
+    TS_TAPE,
+)
+
+_ZERO_SEGMENT = bytes(SEGMENT_SIZE)
+
+
+def data_to_segments(data: bytes, holes_4k: Optional[Set[int]] = None,
+                     block_size: int = 4096) -> List[Optional[bytes]]:
+    """Split file contents into 1 KB segments; ``None`` marks a hole.
+
+    ``holes_4k`` are file-block numbers known to be holes; every 1 KB
+    segment inside such a block becomes a hole segment.  All-zero
+    segments elsewhere are kept as data (dump preserves explicit zeros).
+    """
+    holes_4k = holes_4k or set()
+    per_block = block_size // SEGMENT_SIZE
+    segments: List[Optional[bytes]] = []
+    total = (len(data) + SEGMENT_SIZE - 1) // SEGMENT_SIZE
+    for index in range(total):
+        if (index // per_block) in holes_4k:
+            segments.append(None)
+            continue
+        chunk = data[index * SEGMENT_SIZE : (index + 1) * SEGMENT_SIZE]
+        segments.append(chunk.ljust(SEGMENT_SIZE, b"\0"))
+    return segments
+
+
+def segments_to_data(segments: List[Optional[bytes]], size: int) -> bytes:
+    """Reassemble file contents (holes read back as zeros)."""
+    parts = [seg if seg is not None else _ZERO_SEGMENT for seg in segments]
+    return b"".join(parts)[:size]
+
+
+class DumpStreamWriter:
+    """Emits a dump stream onto any ``write(bytes)`` sink."""
+
+    def __init__(self, sink, date: int = 0, ddate: int = 0):
+        self._sink = sink
+        self.date = date
+        self.ddate = ddate
+        self.tapea = 0
+        self.bytes_written = 0
+        self.volume = 1
+        self._pending_attrs: Optional[RecordHeader] = None
+        self._pending_segments: List[Optional[bytes]] = []
+        self._pending_first = True
+
+    # -- low level ---------------------------------------------------------
+
+    def _emit(self, payload: bytes) -> None:
+        self._sink.write(payload)
+        self.bytes_written += len(payload)
+
+    def _emit_record(self, header: RecordHeader,
+                     segments: List[Optional[bytes]]) -> None:
+        header.date = self.date
+        header.ddate = self.ddate
+        header.volume = self.volume
+        header.tapea = self.tapea
+        self.tapea += 1
+        header.count = len(segments)
+        header.segment_map = [1 if seg is not None else 0 for seg in segments]
+        self._emit(header.pack())
+        for segment in segments:
+            if segment is not None:
+                if len(segment) != SEGMENT_SIZE:
+                    raise FormatError("segment is not %d bytes" % SEGMENT_SIZE)
+                self._emit(segment)
+
+    @staticmethod
+    def _payload_segments(payload: bytes) -> List[Optional[bytes]]:
+        segments: List[Optional[bytes]] = []
+        for offset in range(0, len(payload), SEGMENT_SIZE):
+            segments.append(payload[offset : offset + SEGMENT_SIZE].ljust(SEGMENT_SIZE, b"\0"))
+        return segments
+
+    # -- stream structure -----------------------------------------------------
+
+    def write_tape_header(self, label: TapeLabel) -> None:
+        header = RecordHeader(TS_TAPE)
+        payload = label.pack()
+        header.size = len(payload)
+        self._emit_record(header, self._payload_segments(payload))
+
+    def write_clri(self, free_inos: Iterable[int], max_ino: int) -> None:
+        header = RecordHeader(TS_CLRI)
+        payload = pack_inode_bitmap(free_inos, max_ino)
+        header.size = len(payload)
+        self._emit_record(header, self._payload_segments(payload))
+
+    def write_bits(self, dumped_inos: Iterable[int], max_ino: int) -> None:
+        header = RecordHeader(TS_BITS)
+        payload = pack_inode_bitmap(dumped_inos, max_ino)
+        header.size = len(payload)
+        self._emit_record(header, self._payload_segments(payload))
+
+    def write_end(self) -> None:
+        self._emit_record(RecordHeader(TS_END), [])
+
+    # -- inode records (streaming) ------------------------------------------------
+
+    def begin_inode(self, attrs: RecordHeader) -> None:
+        """Start an inode record; feed segments, then :meth:`end_inode`."""
+        if self._pending_attrs is not None:
+            raise FormatError("previous inode record still open")
+        attrs.type = TS_INODE
+        self._pending_attrs = attrs
+        self._pending_segments = []
+        self._pending_first = True
+
+    def feed_segments(self, segments: List[Optional[bytes]]) -> None:
+        if self._pending_attrs is None:
+            raise FormatError("no inode record open")
+        self._pending_segments.extend(segments)
+        while len(self._pending_segments) >= SEGMENTS_PER_HEADER:
+            self._flush_inode_batch(self._pending_segments[:SEGMENTS_PER_HEADER])
+            self._pending_segments = self._pending_segments[SEGMENTS_PER_HEADER:]
+
+    def _flush_inode_batch(self, batch: List[Optional[bytes]]) -> None:
+        attrs = self._pending_attrs
+        if self._pending_first:
+            header = attrs
+        else:
+            header = RecordHeader(TS_ADDR, attrs.ino)
+            header.size = attrs.size
+            header.ftype = attrs.ftype
+        header.type = TS_INODE if self._pending_first else TS_ADDR
+        self._emit_record(header, batch)
+        self._pending_first = False
+
+    def end_inode(self) -> None:
+        if self._pending_attrs is None:
+            raise FormatError("no inode record open")
+        if self._pending_segments or self._pending_first:
+            self._flush_inode_batch(self._pending_segments)
+        self._pending_attrs = None
+        self._pending_segments = []
+
+    def write_acl(self, ino: int, acl: bytes) -> None:
+        header = RecordHeader(TS_ACL, ino)
+        header.size = len(acl)
+        header.acl_length = len(acl)
+        self._emit_record(header, self._payload_segments(acl))
+
+
+class InodeEntry:
+    """A fully assembled inode record from the stream."""
+
+    def __init__(self, header: RecordHeader, segments: List[Optional[bytes]]):
+        self.header = header
+        self.segments = segments
+        self.acl: bytes = b""
+
+    @property
+    def ino(self) -> int:
+        return self.header.ino
+
+    @property
+    def data(self) -> bytes:
+        return segments_to_data(self.segments, self.header.size)
+
+    def hole_blocks(self, block_size: int = 4096) -> Set[int]:
+        """4 KB file blocks that are entirely holes."""
+        per_block = block_size // SEGMENT_SIZE
+        holes: Set[int] = set()
+        nblocks = (len(self.segments) + per_block - 1) // per_block
+        for block in range(nblocks):
+            window = self.segments[block * per_block : (block + 1) * per_block]
+            if window and all(segment is None for segment in window):
+                holes.add(block)
+        return holes
+
+
+class DumpStreamReader:
+    """Reads a dump stream from any ``read(n)`` source."""
+
+    def __init__(self, source):
+        self._source = source
+        self.label: Optional[TapeLabel] = None
+        self.clri_inos: Set[int] = set()
+        self.bits_inos: Set[int] = set()
+        self.date = 0
+        self.ddate = 0
+        self.resyncs = 0
+        self._peeked: Optional[Tuple[RecordHeader, List[Optional[bytes]]]] = None
+
+    # -- low level ----------------------------------------------------------
+
+    def _read_record(self) -> Tuple[RecordHeader, List[Optional[bytes]]]:
+        if self._peeked is not None:
+            record, self._peeked = self._peeked, None
+            return record
+        raw = self._source.read(HEADER_SIZE)
+        header = RecordHeader.unpack(raw)
+        segments: List[Optional[bytes]] = []
+        for present in header.segment_map:
+            if present:
+                segments.append(self._source.read(SEGMENT_SIZE))
+            else:
+                segments.append(None)
+        return header, segments
+
+    def _read_record_resync(self) -> Tuple[RecordHeader, List[Optional[bytes]]]:
+        """Like ``_read_record`` but scans past corruption to the next
+        parseable header."""
+        if self._peeked is not None:
+            record, self._peeked = self._peeked, None
+            return record
+        while True:
+            raw = self._source.read(HEADER_SIZE)
+            try:
+                header = RecordHeader.unpack(raw)
+            except FormatError:
+                self.resyncs += 1
+                continue
+            segments: List[Optional[bytes]] = []
+            for present in header.segment_map:
+                if present:
+                    segments.append(self._source.read(SEGMENT_SIZE))
+                else:
+                    segments.append(None)
+            return header, segments
+
+    def _payload(self, header: RecordHeader, segments: List[Optional[bytes]]) -> bytes:
+        return segments_to_data(segments, header.size)
+
+    # -- stream structure -------------------------------------------------------
+
+    def read_preamble(self) -> TapeLabel:
+        """Read TS_TAPE and the inode maps; returns the tape label."""
+        header, segments = self._read_record()
+        if header.type != TS_TAPE:
+            raise FormatError("stream does not start with TS_TAPE")
+        self.date = header.date
+        self.ddate = header.ddate
+        self.label = TapeLabel.unpack(self._payload(header, segments))
+        header, segments = self._read_record()
+        if header.type != TS_CLRI:
+            raise FormatError("expected TS_CLRI after the tape header")
+        self.clri_inos = unpack_inode_bitmap(self._payload(header, segments))
+        header, segments = self._read_record()
+        if header.type != TS_BITS:
+            raise FormatError("expected TS_BITS after TS_CLRI")
+        self.bits_inos = unpack_inode_bitmap(self._payload(header, segments))
+        return self.label
+
+    def next_inode(self, resync: bool = False) -> Optional[InodeEntry]:
+        """The next assembled inode record, or None at TS_END.
+
+        With ``resync`` the reader skips corrupted records, losing only
+        the affected files.
+        """
+        read = self._read_record_resync if resync else self._read_record
+        while True:
+            try:
+                header, segments = read()
+            except FormatError:
+                if not resync:
+                    raise
+                self.resyncs += 1
+                continue
+            if header.type == TS_END:
+                return None
+            if header.type != TS_INODE:
+                if resync:
+                    # Mid-stream TS_ADDR/TS_ACL without its TS_INODE: the
+                    # owning record was corrupted; skip.
+                    self.resyncs += 1
+                    continue
+                raise FormatError("unexpected record type %d" % header.type)
+            entry = InodeEntry(header, list(segments))
+            # Gather continuations and the optional ACL record.
+            while True:
+                try:
+                    next_header, next_segments = read()
+                except FormatError:
+                    if not resync:
+                        raise
+                    self.resyncs += 1
+                    return entry
+                if next_header.type == TS_ADDR and next_header.ino == header.ino:
+                    entry.segments.extend(next_segments)
+                    continue
+                if next_header.type == TS_ACL and next_header.ino == header.ino:
+                    entry.acl = self._payload(next_header, next_segments)
+                    continue
+                self._peeked = (next_header, next_segments)
+                return entry
+
+
+__all__ = [
+    "DumpStreamReader",
+    "DumpStreamWriter",
+    "InodeEntry",
+    "data_to_segments",
+    "segments_to_data",
+]

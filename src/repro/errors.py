@@ -1,0 +1,112 @@
+"""Exception hierarchy shared across the library.
+
+Every subsystem raises subclasses of :class:`ReproError`; callers that want
+blanket handling catch the base class, while tests assert on the specific
+subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class StorageError(ReproError):
+    """Device-level failure (bad block address, tape end, media fault)."""
+
+
+class TapeError(StorageError):
+    """Tape device misuse or media exhaustion."""
+
+
+class RaidError(StorageError):
+    """RAID configuration or reconstruction failure."""
+
+
+class FilesystemError(ReproError):
+    """WAFL-level failure."""
+
+
+class NoSpaceError(FilesystemError):
+    """The volume has no free blocks (ENOSPC)."""
+
+
+class NoInodesError(FilesystemError):
+    """The inode file is full."""
+
+
+class NotFoundError(FilesystemError):
+    """Path or inode lookup failed (ENOENT)."""
+
+
+class ExistsError(FilesystemError):
+    """Path already exists (EEXIST)."""
+
+
+class NotADirectoryError_(FilesystemError):
+    """Path component is not a directory (ENOTDIR)."""
+
+
+class IsADirectoryError_(FilesystemError):
+    """File operation applied to a directory (EISDIR)."""
+
+
+class NotEmptyError(FilesystemError):
+    """Directory removal on a non-empty directory (ENOTEMPTY)."""
+
+
+class SnapshotError(FilesystemError):
+    """Snapshot creation/deletion/lookup failure."""
+
+
+class CrossLinkError(FilesystemError):
+    """fsck found a block claimed twice or a refcount mismatch."""
+
+
+class BackupError(ReproError):
+    """Backup/restore engine failure."""
+
+
+class FormatError(BackupError):
+    """Malformed or corrupted dump stream."""
+
+
+class IncrementalError(BackupError):
+    """Invalid incremental chain (bad base, missing level)."""
+
+
+class GeometryError(BackupError):
+    """Physical restore onto an incompatible volume geometry."""
+
+
+class VerificationError(ReproError):
+    """Restored data does not match the source."""
+
+
+class WorkloadError(ReproError):
+    """Workload generator misconfiguration."""
+
+
+__all__ = [
+    "BackupError",
+    "CrossLinkError",
+    "ExistsError",
+    "FilesystemError",
+    "FormatError",
+    "GeometryError",
+    "IncrementalError",
+    "IsADirectoryError_",
+    "NoInodesError",
+    "NoSpaceError",
+    "NotADirectoryError_",
+    "NotEmptyError",
+    "NotFoundError",
+    "RaidError",
+    "ReproError",
+    "SnapshotError",
+    "StorageError",
+    "TapeError",
+    "VerificationError",
+    "WorkloadError",
+]

@@ -1,0 +1,13 @@
+"""Volume replication built on incremental image transfer.
+
+Section 6 of the paper: "The image dump/restore technology also has
+potential application to remote mirroring and replication of volumes."
+This package implements that future-work feature: an asynchronous mirror
+that ships a full image once and then periodic snapshot-to-snapshot
+incrementals (the ``B − A`` block sets) to keep a read-only replica in
+step — the design that later shipped as SnapMirror.
+"""
+
+from repro.mirror.snapmirror import MirrorRelationship, MirrorTransferResult
+
+__all__ = ["MirrorRelationship", "MirrorTransferResult"]

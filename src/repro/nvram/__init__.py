@@ -1,0 +1,17 @@
+"""NVRAM operation log.
+
+The paper: "WAFL uses NVRAM only to store recent [NFS] operations... If
+the filer's NVRAM fails, the WAFL file system is still completely self
+consistent; the only damage is that a few seconds worth of operations may
+be lost."
+
+The log records whole operations (not dirty blocks), is bounded like the
+F630's 32 MB part, and is replayed through the normal file-system entry
+points after a crash.  Logical restore writes through this log; physical
+restore bypasses it — one of the performance asymmetries the paper
+measures.
+"""
+
+from repro.nvram.log import LoggedOp, NvramLog
+
+__all__ = ["LoggedOp", "NvramLog"]

@@ -1,0 +1,14 @@
+"""Software RAID-4 subsystem.
+
+WAFL volumes sit on RAID-4 groups (striped data disks plus one dedicated
+parity disk).  This package implements that layout with real XOR parity:
+every data write updates parity, a failed data disk block is reconstructed
+from its stripe peers, and image dump/restore streams through this layer
+directly — bypassing the file system — exactly as the paper describes.
+"""
+
+from repro.raid.group import RaidGroup
+from repro.raid.layout import GroupGeometry, VolumeGeometry
+from repro.raid.volume import RaidVolume
+
+__all__ = ["GroupGeometry", "RaidGroup", "RaidVolume", "VolumeGeometry"]

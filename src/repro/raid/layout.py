@@ -1,0 +1,119 @@
+"""RAID geometry descriptions and address arithmetic.
+
+Physical backup images are only restorable onto a compatible layout (the
+paper's portability limitation), so geometry is a first-class, comparable
+value: an image records the source :class:`VolumeGeometry` and restore
+refuses a mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+from repro.errors import RaidError
+from repro.storage.disk import DEFAULT_BLOCK_SIZE
+
+
+class GroupGeometry(NamedTuple):
+    """Shape of one RAID-4 group: data spindles and blocks per spindle."""
+
+    ndata_disks: int
+    blocks_per_disk: int
+
+    @property
+    def data_blocks(self) -> int:
+        return self.ndata_disks * self.blocks_per_disk
+
+
+class VolumeGeometry(NamedTuple):
+    """Shape of a whole volume: ordered groups plus the block size."""
+
+    block_size: int
+    groups: Tuple[GroupGeometry, ...]
+
+    @property
+    def data_blocks(self) -> int:
+        return sum(group.data_blocks for group in self.groups)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.data_blocks * self.block_size
+
+    def describe(self) -> str:
+        disks = sum(g.ndata_disks + 1 for g in self.groups)
+        return "%d groups / %d disks / %d data blocks of %d bytes" % (
+            len(self.groups),
+            disks,
+            self.data_blocks,
+            self.block_size,
+        )
+
+
+def make_geometry(
+    ngroups: int,
+    ndata_disks: int,
+    blocks_per_disk: int,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> VolumeGeometry:
+    """Uniform geometry helper: ``ngroups`` identical RAID-4 groups."""
+    if ngroups <= 0 or ndata_disks <= 0 or blocks_per_disk <= 0:
+        raise RaidError("geometry dimensions must be positive")
+    group = GroupGeometry(ndata_disks, blocks_per_disk)
+    return VolumeGeometry(block_size, tuple([group] * ngroups))
+
+
+def geometry_for_capacity(
+    data_bytes: int,
+    ngroups: int,
+    ndata_disks: int,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    slack: float = 1.25,
+) -> VolumeGeometry:
+    """Smallest uniform geometry holding ``data_bytes`` with ``slack`` headroom."""
+    if data_bytes <= 0:
+        raise RaidError("capacity must be positive")
+    needed_blocks = int(data_bytes * slack / block_size) + 1
+    per_group = (needed_blocks + ngroups - 1) // ngroups
+    blocks_per_disk = (per_group + ndata_disks - 1) // ndata_disks
+    return make_geometry(ngroups, ndata_disks, blocks_per_disk, block_size)
+
+
+class BlockLocation(NamedTuple):
+    """Where a volume data block physically lives."""
+
+    group_index: int
+    group_block: int  # data-block index within the group
+    disk_index: int  # data disk within the group
+    disk_block: int  # stripe index == block offset on that spindle
+
+
+def locate(geometry: VolumeGeometry, volume_block: int) -> BlockLocation:
+    """Map a flat volume data-block address to its physical location.
+
+    Within a group, data blocks stripe horizontally across the data disks:
+    block ``b`` lands on disk ``b % ndata`` at stripe ``b // ndata``, so a
+    contiguous volume run engages every spindle of the group at once.
+    """
+    if volume_block < 0:
+        raise RaidError("negative block address")
+    remaining = volume_block
+    for group_index, group in enumerate(geometry.groups):
+        if remaining < group.data_blocks:
+            disk_index = remaining % group.ndata_disks
+            disk_block = remaining // group.ndata_disks
+            return BlockLocation(group_index, remaining, disk_index, disk_block)
+        remaining -= group.data_blocks
+    raise RaidError(
+        "block %d beyond volume end (%d data blocks)"
+        % (volume_block, geometry.data_blocks)
+    )
+
+
+__all__ = [
+    "BlockLocation",
+    "GroupGeometry",
+    "VolumeGeometry",
+    "geometry_for_capacity",
+    "locate",
+    "make_geometry",
+]

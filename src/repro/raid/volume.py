@@ -1,0 +1,157 @@
+"""The flat block address space a WAFL volume lives on.
+
+:class:`RaidVolume` concatenates the data address spaces of its RAID-4
+groups.  It is the *only* interface the physical (image) backup path uses:
+image dump reads raw volume blocks here, and image restore writes them
+back, never touching file-system structures.  The logical path reaches the
+same object, but only through :class:`~repro.wafl.filesystem.WaflFilesystem`.
+
+An attached :class:`~repro.storage.device.IoRecorder` observes every
+block-level access, which is how the performance layer learns the physical
+addresses (and therefore the seek behaviour) of whatever ran.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import RaidError
+from repro.raid.group import RaidGroup
+from repro.raid.layout import BlockLocation, VolumeGeometry, locate
+from repro.storage.device import IoRecorder
+
+
+class RaidVolume:
+    """A flat data-block address space over one or more RAID-4 groups."""
+
+    def __init__(self, geometry: VolumeGeometry, name: str = ""):
+        if not geometry.groups:
+            raise RaidError("volume needs at least one RAID group")
+        self.geometry = geometry
+        self.name = name
+        self.groups: List[RaidGroup] = [
+            RaidGroup(group, geometry.block_size, name="%s.g%d" % (name, i))
+            for i, group in enumerate(geometry.groups)
+        ]
+        self._group_base: List[int] = []
+        base = 0
+        for group in geometry.groups:
+            self._group_base.append(base)
+            base += group.data_blocks
+        self.recorder: Optional[IoRecorder] = None
+        # Optional block buffer cache (see repro.wafl.buffercache): hits
+        # produce no recorder events, modelling RAM-resident metadata.
+        self.cache = None
+        # When True, reads bypass the cache entirely (image dump's
+        # "bypass the file system" path still records every block).
+        self.uncached_reads = False
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def nblocks(self) -> int:
+        return self.geometry.data_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self.geometry.block_size
+
+    @property
+    def size_bytes(self) -> int:
+        return self.geometry.size_bytes
+
+    def locate(self, volume_block: int) -> BlockLocation:
+        return locate(self.geometry, volume_block)
+
+    def group_of(self, volume_block: int) -> Tuple[int, int]:
+        """(group index, block offset within the group) for an address."""
+        loc = self.locate(volume_block)
+        return loc.group_index, loc.group_block
+
+    def compatible_with(self, other_geometry: VolumeGeometry) -> bool:
+        """Whether a physical image of ``other_geometry`` can land here."""
+        return self.geometry == other_geometry
+
+    # -- data plane ---------------------------------------------------------
+
+    def read_block(self, volume_block: int) -> bytes:
+        cache = None if self.uncached_reads else self.cache
+        if cache is not None:
+            cached = cache.get(volume_block)
+            if cached is not None:
+                return cached
+        loc = self.locate(volume_block)
+        data = self.groups[loc.group_index].read_block(loc.group_block)
+        if cache is not None:
+            cache.put(volume_block, data)
+        if self.recorder is not None:
+            self.recorder.on_read(volume_block, 1)
+        return data
+
+    def write_block(self, volume_block: int, data: bytes) -> None:
+        if len(data) != self.block_size:
+            raise RaidError(
+                "write of %d bytes to %d-byte block" % (len(data), self.block_size)
+            )
+        loc = self.locate(volume_block)
+        self.groups[loc.group_index].write_block(loc.group_block, data)
+        if self.cache is not None:
+            self.cache.put(volume_block, bytes(data))
+        if self.recorder is not None:
+            self.recorder.on_write(volume_block, 1)
+
+    def read_run(self, start_block: int, nblocks: int) -> bytes:
+        """Read ``nblocks`` contiguous volume blocks as one access.
+
+        With a cache attached, a fully resident run costs no I/O; a run
+        with any cold block is read (and recorded) whole, which is how a
+        real chained read behaves.
+        """
+        if nblocks <= 0:
+            raise RaidError("zero-length run read")
+        cache = None if self.uncached_reads else self.cache
+        if cache is not None and all(
+            cache.peek(start_block + i) for i in range(nblocks)
+        ):
+            return b"".join(
+                cache.get(start_block + i) for i in range(nblocks)
+            )
+        parts = []
+        for i in range(nblocks):
+            loc = self.locate(start_block + i)
+            data = self.groups[loc.group_index].read_block(loc.group_block)
+            if cache is not None:
+                cache.put(start_block + i, data)
+            parts.append(data)
+        if self.recorder is not None:
+            self.recorder.on_read(start_block, nblocks)
+        return b"".join(parts)
+
+    def write_run(self, start_block: int, data: bytes) -> None:
+        if len(data) % self.block_size:
+            raise RaidError("run write is not block aligned")
+        nblocks = len(data) // self.block_size
+        for i in range(nblocks):
+            loc = self.locate(start_block + i)
+            chunk = data[i * self.block_size : (i + 1) * self.block_size]
+            self.groups[loc.group_index].write_block(loc.group_block, chunk)
+            if self.cache is not None:
+                self.cache.put(start_block + i, bytes(chunk))
+        if self.recorder is not None:
+            self.recorder.on_write(start_block, nblocks)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def verify_parity(self) -> bool:
+        return all(group.verify_parity() for group in self.groups)
+
+    def clone_empty(self) -> "RaidVolume":
+        """A fresh volume of identical geometry (disaster-recovery target)."""
+        return RaidVolume(self.geometry, name=self.name + "+new")
+
+    def snapshot_blocks(self, blocks: Iterable[int]) -> dict:
+        """Raw copies of the given blocks (verification helper)."""
+        return {block: self.read_block(block) for block in blocks}
+
+
+__all__ = ["RaidVolume"]

@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free DES in the style of SimPy: generator-based
+processes scheduled on a global event heap, plus the resource primitives
+(:class:`~repro.sim.resources.Resource`, bounded
+:class:`~repro.sim.resources.Store`) that the performance executor uses to
+model CPU, disk, and tape contention.
+
+The kernel is deliberately small; everything the backup experiments need is
+expressible with ``Timeout``, ``Resource`` and ``Store``.
+"""
+
+from repro.sim.core import Event, Interrupt, Process, SimError, Simulation, Timeout
+from repro.sim.resources import Resource, Store
+from repro.sim.stats import IntervalAccumulator, UtilizationTracker
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "IntervalAccumulator",
+    "Process",
+    "Resource",
+    "SimError",
+    "Simulation",
+    "Store",
+    "Timeout",
+    "UtilizationTracker",
+]

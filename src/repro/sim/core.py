@@ -1,0 +1,293 @@
+"""Core of the discrete-event simulation kernel.
+
+The model follows SimPy's architecture in miniature:
+
+* A :class:`Simulation` owns a heap of ``(time, sequence, event)`` entries.
+* An :class:`Event` is a one-shot occurrence with a value and a callback
+  list.  Succeeding an event schedules it on the heap; when the simulation
+  pops it, its callbacks run at that simulated instant.
+* A :class:`Process` wraps a generator.  The generator yields events; the
+  process resumes (``send``/``throw``) when the yielded event fires.  A
+  process is itself an event, so processes can wait on each other.
+
+Simulated time is a ``float`` number of seconds.  There is no wall-clock
+component anywhere: a run over hours of simulated tape traffic completes in
+milliseconds of real time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events move through three states: *pending* (created, not yet
+    triggered), *triggered* (scheduled on the heap with a value), and
+    *processed* (callbacks have run).  ``succeed`` and ``fail`` trigger the
+    event; failing makes the value an exception that is re-raised in any
+    waiting process.
+    """
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self.triggered = False
+        self.processed = False
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimError("event has not been triggered")
+        return self._ok
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` seconds."""
+        if self.triggered:
+            raise SimError("event already triggered")
+        self.triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates (is raised) inside every process waiting
+        on the event.
+        """
+        if self.triggered:
+            raise SimError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimError("fail() requires an exception instance")
+        self.triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self.processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError("negative timeout delay %r" % (delay,))
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Fires once every child event has fired successfully.
+
+    The value is the list of child values in the order given.  If any child
+    fails, this event fails with that child's exception.
+    """
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self._children:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child.value for child in self._children])
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    The generator yields :class:`Event` instances and is resumed with the
+    event's value when it fires.  When the generator returns, the process
+    (itself an event) succeeds with the generator's return value, waking
+    anything that was waiting on it.
+    """
+
+    def __init__(self, sim: "Simulation", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimError("Process requires a generator, got %r" % (generator,))
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the process at the current simulated instant.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimError("cannot interrupt a finished process")
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup.callbacks.append(
+            lambda event: self._step(throw=Interrupt(cause))
+        )
+        wakeup.succeed()
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok is False:
+            self._step(throw=event.value)
+        else:
+            self._step(send=event.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self.triggered:
+            return
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly.
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimError("process yielded non-event %r" % (target,)))
+            return
+        if target.processed:
+            # Already fired: resume immediately (still via the event loop so
+            # that resumption order stays deterministic).
+            immediate = Event(self.sim)
+            immediate.callbacks.append(
+                lambda _evt, tgt=target: self._resume(tgt)
+            )
+            immediate.succeed()
+            self._waiting_on = None
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class Simulation:
+    """The event loop: a heap of scheduled events and a simulated clock."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self.now = 0.0
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    # -- execution ------------------------------------------------------
+
+    def step(self) -> None:
+        """Pop and process the next scheduled event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimError("time went backwards: %r < %r" % (when, self.now))
+        self.now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes ``until``."""
+        if until is not None and until < self.now:
+            raise SimError("until %r is in the past (now=%r)" % (until, self.now))
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def run_process(self, process: Process, until: Optional[float] = None) -> Any:
+        """Run until ``process`` completes and return its value.
+
+        Raises the process's exception if it failed.
+        """
+        while not process.triggered:
+            if not self._heap:
+                raise SimError(
+                    "deadlock: no scheduled events but process %r is alive"
+                    % (process.name,)
+                )
+            if until is not None and self._heap[0][0] > until:
+                raise SimError("process %r did not finish by t=%r" % (process.name, until))
+            self.step()
+        if process._ok is False:
+            raise process.value
+        return process.value

@@ -1,0 +1,196 @@
+"""Resource primitives for the simulation kernel.
+
+:class:`Resource` models a server with fixed capacity (a CPU, a disk
+channel, a tape drive) with FIFO queueing.  :class:`Store` is a bounded
+buffer used to join the producer (disk-side) and consumer (tape-side)
+halves of a backup pipeline.
+
+Both record enough bookkeeping to report utilization afterwards, which is
+what the paper's tables measure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.core import Event, SimError, Simulation
+from repro.sim.stats import UtilizationTracker
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` (also the release token)."""
+
+    def __init__(self, resource: "Resource", amount: int = 1):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.amount = amount
+        self.released = False
+
+
+class Resource:
+    """A capacity-limited resource with FIFO admission.
+
+    Usage from a process::
+
+        req = yield resource.acquire()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release(req)
+
+    ``acquire`` returns an event whose value is the request token itself,
+    so ``req = yield resource.acquire()`` reads naturally.
+    """
+
+    def __init__(self, sim: Simulation, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: Deque[Request] = deque()
+        self.utilization = UtilizationTracker(capacity=capacity)
+
+    def acquire(self, amount: int = 1) -> Request:
+        if amount < 1 or amount > self.capacity:
+            raise SimError(
+                "cannot acquire %d units of %r (capacity %d)"
+                % (amount, self.name, self.capacity)
+            )
+        request = Request(self, amount)
+        self._queue.append(request)
+        self._grant()
+        return request
+
+    def release(self, request: Request) -> None:
+        if request.released:
+            raise SimError("double release on %r" % (self.name,))
+        if not request.triggered:
+            # Cancelled while still queued.
+            request.released = True
+            self._queue.remove(request)
+            return
+        request.released = True
+        self.in_use -= request.amount
+        self.utilization.record(self.sim.now, self.in_use)
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue:
+            head = self._queue[0]
+            if self.in_use + head.amount > self.capacity:
+                return
+            self._queue.popleft()
+            self.in_use += head.amount
+            self.utilization.record(self.sim.now, self.in_use)
+            head.succeed(head)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+class Store:
+    """A bounded FIFO buffer connecting producer and consumer processes.
+
+    ``put`` blocks (the returned event stays pending) while the store is
+    full; ``get`` blocks while it is empty.  Item count may be weighted:
+    a put of ``weight=n`` occupies n slots, which lets the backup pipeline
+    buffer be sized in blocks while items are multi-block extents.
+    """
+
+    def __init__(self, sim: Simulation, capacity: float = float("inf"), name: str = ""):
+        if capacity <= 0:
+            raise SimError("store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.level = 0.0
+        self._items: Deque[Any] = deque()
+        self._putters: Deque[Event] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_put = 0.0
+
+    def put(self, item: Any, weight: float = 1.0) -> Event:
+        if weight <= 0:
+            raise SimError("put weight must be positive")
+        if weight > self.capacity:
+            raise SimError(
+                "item weight %r exceeds store capacity %r" % (weight, self.capacity)
+            )
+        event = Event(self.sim)
+        event._put_item = (item, weight)  # type: ignore[attr-defined]
+        self._putters.append(event)
+        self._drain()
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        self._getters.append(event)
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit putters while space allows.
+            while self._putters:
+                putter = self._putters[0]
+                item, weight = putter._put_item  # type: ignore[attr-defined]
+                if self.level + weight > self.capacity:
+                    break
+                self._putters.popleft()
+                self.level += weight
+                self.total_put += weight
+                self._items.append((item, weight))
+                putter.succeed()
+                progressed = True
+            # Serve getters while items exist.
+            while self._getters and self._items:
+                getter = self._getters.popleft()
+                item, weight = self._items.popleft()
+                self.level -= weight
+                getter.succeed(item)
+                progressed = True
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class PreemptiveClock:
+    """Tracks per-consumer shares of a rate-limited channel.
+
+    Used by device models that split bandwidth evenly among concurrent
+    streams (e.g. several dumps reading one RAID group).  Given ``n``
+    concurrent claims, each proceeds at ``rate / n``.  This class only does
+    the arithmetic; admission is still via :class:`Resource`.
+    """
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise SimError("rate must be positive")
+        self.rate = rate
+
+    def service_time(self, amount: float, concurrency: int = 1) -> float:
+        if amount < 0:
+            raise SimError("negative amount")
+        concurrency = max(1, concurrency)
+        return amount * concurrency / self.rate
+
+
+def hold(resource: Resource, duration: float):
+    """Process fragment: acquire ``resource``, hold for ``duration``, release.
+
+    Usage: ``yield from hold(cpu, seconds)``.
+    """
+    request = yield resource.acquire()
+    try:
+        yield resource.sim.timeout(duration)
+    finally:
+        resource.release(request)
+
+
+__all__ = ["PreemptiveClock", "Request", "Resource", "Store", "hold"]

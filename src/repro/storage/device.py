@@ -1,0 +1,69 @@
+"""I/O recording shared by the data and timing planes.
+
+Backup engines do their real data movement through the file system or the
+RAID layer; an :class:`IoRecorder` attached to the volume captures the
+physical block addresses of that movement so the engine can emit
+timing ops (see :mod:`repro.perf.ops`) describing *exactly* the accesses
+that happened — sequential runs stay runs, scattered reads stay scattered.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+READ = "read"
+WRITE = "write"
+
+Access = Tuple[str, int, int]  # (kind, start_block, nblocks)
+
+
+def coalesce_runs(accesses: Iterable[Access]) -> List[Access]:
+    """Merge adjacent accesses that continue a contiguous run.
+
+    ``[(read, 10, 1), (read, 11, 1), (read, 40, 2)]`` becomes
+    ``[(read, 10, 2), (read, 40, 2)]``.  Runs only merge when kind matches
+    and addresses are exactly contiguous — the disk model decides what a
+    discontiguity costs.
+    """
+    merged: List[Access] = []
+    for kind, start, count in accesses:
+        if merged:
+            last_kind, last_start, last_count = merged[-1]
+            if last_kind == kind and last_start + last_count == start:
+                merged[-1] = (kind, last_start, last_count + count)
+                continue
+        merged.append((kind, start, count))
+    return merged
+
+
+class IoRecorder:
+    """Accumulates physical block accesses from a volume.
+
+    A recorder is attached with ``volume.recorder = rec``; every
+    block-level read/write then lands here.  ``drain()`` returns the
+    coalesced accesses since the previous drain, in order.
+    """
+
+    def __init__(self):
+        self._pending: List[Access] = []
+        self.total_read_blocks = 0
+        self.total_written_blocks = 0
+
+    def on_read(self, start_block: int, nblocks: int = 1) -> None:
+        self._pending.append((READ, start_block, nblocks))
+        self.total_read_blocks += nblocks
+
+    def on_write(self, start_block: int, nblocks: int = 1) -> None:
+        self._pending.append((WRITE, start_block, nblocks))
+        self.total_written_blocks += nblocks
+
+    def drain(self) -> List[Access]:
+        accesses = coalesce_runs(self._pending)
+        self._pending = []
+        return accesses
+
+    def discard(self) -> None:
+        self._pending = []
+
+
+__all__ = ["Access", "IoRecorder", "READ", "WRITE", "coalesce_runs"]

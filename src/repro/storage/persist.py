@@ -1,0 +1,133 @@
+"""Persistence: save volumes and tapes to host files.
+
+The simulator's state is all in memory; these helpers serialize a
+:class:`~repro.raid.volume.RaidVolume` (every member disk, parity
+included, so a reloaded volume is bit-identical and still
+reconstruction-capable) and a :class:`~repro.storage.tape.TapeStacker`
+to compact zlib-compressed container files.  The CLI uses them so that
+``repro-backup`` invocations compose across processes.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import BinaryIO
+
+from repro.errors import StorageError
+from repro.backup.physical.image import pack_geometry, unpack_geometry
+from repro.raid.volume import RaidVolume
+from repro.storage.tape import TapeCartridge, TapeDrive, TapeStacker
+
+_VOLUME_MAGIC = b"RPROVOL1"
+_TAPE_MAGIC = b"RPROTAP1"
+_CHUNK = struct.Struct("<IQ")  # block number, payload length (compressed)
+
+
+def _write_frame(handle: BinaryIO, payload: bytes) -> None:
+    compressed = zlib.compress(payload, level=6)
+    handle.write(struct.pack("<Q", len(compressed)))
+    handle.write(compressed)
+
+
+def _read_frame(handle: BinaryIO) -> bytes:
+    header = handle.read(8)
+    if len(header) != 8:
+        raise StorageError("truncated container file")
+    (length,) = struct.unpack("<Q", header)
+    compressed = handle.read(length)
+    if len(compressed) != length:
+        raise StorageError("truncated container frame")
+    return zlib.decompress(compressed)
+
+
+def _serialize_disk(disk) -> bytes:
+    parts = [struct.pack("<II", disk.nblocks, len(disk._blocks))]
+    for block in sorted(disk._blocks):
+        data = disk._blocks[block]
+        parts.append(struct.pack("<I", block))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def _deserialize_disk(disk, payload: bytes) -> None:
+    nblocks, count = struct.unpack_from("<II", payload, 0)
+    if nblocks != disk.nblocks:
+        raise StorageError("disk geometry mismatch in container")
+    offset = 8
+    block_size = disk.block_size
+    for _ in range(count):
+        (block,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        disk.write_block(block, payload[offset : offset + block_size])
+        offset += block_size
+
+
+def save_volume(volume: RaidVolume, path: str) -> int:
+    """Write the whole volume (data + parity) to ``path``; returns bytes."""
+    with open(path, "wb") as handle:
+        handle.write(_VOLUME_MAGIC)
+        name = volume.name.encode("utf-8")
+        handle.write(struct.pack("<H", len(name)))
+        handle.write(name)
+        geometry = pack_geometry(volume.geometry)
+        handle.write(struct.pack("<I", len(geometry)))
+        handle.write(geometry)
+        for group in volume.groups:
+            for disk in group.data_disks + [group.parity_disk]:
+                _write_frame(handle, _serialize_disk(disk))
+        return handle.tell()
+
+
+def load_volume(path: str) -> RaidVolume:
+    """Rebuild a volume saved by :func:`save_volume`."""
+    with open(path, "rb") as handle:
+        if handle.read(8) != _VOLUME_MAGIC:
+            raise StorageError("%s is not a volume container" % path)
+        (name_length,) = struct.unpack("<H", handle.read(2))
+        name = handle.read(name_length).decode("utf-8")
+        (geo_length,) = struct.unpack("<I", handle.read(4))
+        geometry, _ = unpack_geometry(handle.read(geo_length))
+        volume = RaidVolume(geometry, name=name)
+        for group in volume.groups:
+            for disk in group.data_disks + [group.parity_disk]:
+                _deserialize_disk(disk, _read_frame(handle))
+        return volume
+
+
+def save_tape(drive: TapeDrive, path: str) -> int:
+    """Write a drive's stacker (all cartridges) to ``path``."""
+    with open(path, "wb") as handle:
+        handle.write(_TAPE_MAGIC)
+        stacker = drive.stacker
+        name = stacker.name.encode("utf-8")
+        handle.write(struct.pack("<H", len(name)))
+        handle.write(name)
+        handle.write(struct.pack("<I", len(stacker.cartridges)))
+        for cartridge in stacker.cartridges:
+            handle.write(struct.pack("<Q", cartridge.capacity))
+            _write_frame(handle, bytes(cartridge.data))
+        return handle.tell()
+
+
+def load_tape(path: str) -> TapeDrive:
+    """Rebuild a tape drive saved by :func:`save_tape` (rewound)."""
+    with open(path, "rb") as handle:
+        if handle.read(8) != _TAPE_MAGIC:
+            raise StorageError("%s is not a tape container" % path)
+        (name_length,) = struct.unpack("<H", handle.read(2))
+        name = handle.read(name_length).decode("utf-8")
+        (count,) = struct.unpack("<I", handle.read(4))
+        cartridges = []
+        for index in range(count):
+            (capacity,) = struct.unpack("<Q", handle.read(8))
+            cartridge = TapeCartridge(capacity=capacity,
+                                      label="%s/slot%d" % (name, index))
+            cartridge.data = bytearray(_read_frame(handle))
+            cartridges.append(cartridge)
+        stacker = TapeStacker(cartridges, name=name)
+        stacker.next_slot = sum(1 for c in cartridges if c.used)
+        return TapeDrive(stacker, name=name)
+
+
+__all__ = ["load_tape", "load_volume", "save_tape", "save_volume"]

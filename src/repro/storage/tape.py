@@ -1,0 +1,240 @@
+"""Tape subsystem: cartridges, drives, stackers, and the DLT-7000 model.
+
+The data plane (:class:`TapeCartridge`, :class:`TapeDrive`) is byte
+faithful — the dump stream written during a backup is the exact stream a
+restore later reads, including spans across cartridge boundaries handled by
+a :class:`TapeStacker`.  The timing plane (:class:`TapeModel`) is a
+streaming-rate model with per-record overhead and load/rewind latencies,
+matching how a DLT-7000 behaves when it is kept streaming.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TapeError
+from repro.units import GB, KB, MB
+
+
+class TapeCartridge:
+    """A single removable tape: an append-only byte stream with capacity."""
+
+    def __init__(self, capacity: int = 35 * GB, label: str = ""):
+        if capacity <= 0:
+            raise TapeError("cartridge capacity must be positive")
+        self.capacity = capacity
+        self.label = label
+        self.data = bytearray()
+        self.write_protected = False
+
+    @property
+    def used(self) -> int:
+        return len(self.data)
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - len(self.data)
+
+    def append(self, chunk: bytes) -> None:
+        if self.write_protected:
+            raise TapeError("cartridge %r is write protected" % (self.label,))
+        if len(self.data) + len(chunk) > self.capacity:
+            raise TapeError("end of tape on cartridge %r" % (self.label,))
+        self.data.extend(chunk)
+
+    def erase(self) -> None:
+        if self.write_protected:
+            raise TapeError("cartridge %r is write protected" % (self.label,))
+        self.data = bytearray()
+
+
+class TapeStacker:
+    """A magazine of cartridges with automatic sequential loading."""
+
+    def __init__(self, cartridges: Optional[List[TapeCartridge]] = None, name: str = ""):
+        self.name = name
+        self.cartridges: List[TapeCartridge] = list(cartridges or [])
+        self.next_slot = 0
+
+    @classmethod
+    def with_blank_tapes(
+        cls, count: int, capacity: int = 35 * GB, name: str = ""
+    ) -> "TapeStacker":
+        tapes = [
+            TapeCartridge(capacity=capacity, label="%s/slot%d" % (name, i))
+            for i in range(count)
+        ]
+        return cls(tapes, name=name)
+
+    def load_next(self) -> TapeCartridge:
+        if self.next_slot >= len(self.cartridges):
+            raise TapeError("stacker %r is out of cartridges" % (self.name,))
+        cartridge = self.cartridges[self.next_slot]
+        self.next_slot += 1
+        return cartridge
+
+    def rewind_magazine(self) -> None:
+        """Reset to the first slot (used before a restore pass)."""
+        self.next_slot = 0
+
+
+class TapeDrive:
+    """One tape drive: sequential write/read over stacker-fed cartridges.
+
+    Writes append to the loaded cartridge, spilling onto the next cartridge
+    at end-of-tape.  Reads consume the same logical byte stream in order.
+    ``media_changes`` counts cartridge swaps so the timing layer can charge
+    the (large) change latency.
+    """
+
+    def __init__(self, stacker: TapeStacker, name: str = ""):
+        self.stacker = stacker
+        self.name = name or stacker.name
+        self.loaded: Optional[TapeCartridge] = None
+        self.read_cartridge_index = 0
+        self.read_offset = 0
+        self.media_changes = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- writing ---------------------------------------------------------
+
+    def _ensure_loaded(self) -> TapeCartridge:
+        if self.loaded is None:
+            self.loaded = self.stacker.load_next()
+            # Only swaps count: the first cartridge is loaded before the
+            # job starts (the operator readied the drive).
+            if self.stacker.next_slot > 1:
+                self.media_changes += 1
+        return self.loaded
+
+    def write(self, chunk: bytes) -> int:
+        """Append ``chunk``, spanning cartridges as needed.
+
+        Returns the number of cartridge changes this write caused (for the
+        timing layer).
+        """
+        changes_before = self.media_changes
+        view = memoryview(chunk)
+        while len(view):
+            cartridge = self._ensure_loaded()
+            space = cartridge.remaining
+            if space == 0:
+                self.loaded = None
+                continue
+            take = min(space, len(view))
+            cartridge.append(bytes(view[:take]))
+            view = view[take:]
+        self.bytes_written += len(chunk)
+        return self.media_changes - changes_before
+
+    # -- reading ---------------------------------------------------------
+
+    def rewind(self) -> None:
+        """Return to the beginning of the first cartridge for reading."""
+        self.stacker.rewind_magazine()
+        self.read_cartridge_index = 0
+        self.read_offset = 0
+        self.loaded = None
+
+    def read(self, nbytes: int) -> bytes:
+        """Read the next ``nbytes`` of the logical stream.
+
+        Raises :class:`TapeError` if the stream ends early.
+        """
+        out = bytearray()
+        while len(out) < nbytes:
+            if self.read_cartridge_index >= len(self.stacker.cartridges):
+                raise TapeError(
+                    "read past end of data on drive %r (wanted %d, got %d)"
+                    % (self.name, nbytes, len(out))
+                )
+            cartridge = self.stacker.cartridges[self.read_cartridge_index]
+            available = cartridge.used - self.read_offset
+            if available <= 0:
+                self.read_cartridge_index += 1
+                self.read_offset = 0
+                self.media_changes += 1
+                continue
+            take = min(available, nbytes - len(out))
+            start = self.read_offset
+            out.extend(cartridge.data[start : start + take])
+            self.read_offset += take
+        self.bytes_read += nbytes
+        return bytes(out)
+
+    def stream_length(self) -> int:
+        """Total bytes recorded across all cartridges."""
+        return sum(c.used for c in self.stacker.cartridges)
+
+    def stream_bytes(self) -> bytes:
+        """The whole logical stream (used by verification helpers)."""
+        return b"".join(bytes(c.data) for c in self.stacker.cartridges)
+
+
+class TapeModel:
+    """DLT-7000-class timing: streaming rate plus per-record overhead.
+
+    ``rate`` is the sustained streaming rate with the drive's compression
+    engine active on typical file data.  A drive that is kept streaming
+    pays only the per-record gap; media changes cost ``change_time``.
+    """
+
+    def __init__(
+        self,
+        rate: float = 9.5 * MB,
+        record_size: int = 60 * KB,
+        record_gap: float = 0.00035,
+        load_time: float = 40.0,
+        change_time: float = 60.0,
+        restart_penalty: float = 0.12,
+        restart_idle: float = 0.004,
+    ):
+        """``restart_penalty`` models the DLT's stop/reposition/restart
+        ("shoe-shine") cycle: when the host fails to keep the drive
+        streaming for more than ``restart_idle`` seconds, the next write
+        pays the restart.  A smooth feeder (image dump) never triggers
+        it; a bursty one (dump stalling on scattered reads or CPU) loses
+        real throughput to it — one of the reasons the paper's logical
+        dump lands below the drive's streaming rate even when "the tape
+        is the bottleneck"."""
+        if rate <= 0:
+            raise TapeError("tape rate must be positive")
+        self.rate = rate
+        self.record_size = record_size
+        self.record_gap = record_gap
+        self.load_time = load_time
+        self.change_time = change_time
+        self.restart_penalty = restart_penalty
+        self.restart_idle = restart_idle
+        self.busy_seconds = 0.0
+        self.bytes_moved = 0
+        self.restarts = 0
+        self.last_busy_end = None
+
+    def transfer_time(self, nbytes: int, media_changes: int = 0,
+                      now: float = None, writing: bool = True) -> float:
+        """Time to stream ``nbytes`` (either direction).
+
+        Pass ``now`` (the simulation clock) to enable the streaming-gap
+        restart penalty; it only applies while *writing* (a read that
+        pauses simply stops — the host controls the pace; a paused write
+        forces the drive to reposition before it can append).
+        """
+        if nbytes < 0:
+            raise TapeError("negative transfer")
+        records = max(1, (nbytes + self.record_size - 1) // self.record_size)
+        total = nbytes / self.rate + records * self.record_gap
+        total += media_changes * self.change_time
+        if now is not None and writing:
+            if (self.last_busy_end is not None
+                    and now - self.last_busy_end > self.restart_idle):
+                total += self.restart_penalty
+                self.restarts += 1
+            self.last_busy_end = (now if self.last_busy_end is None else now) + total
+        self.busy_seconds += total
+        self.bytes_moved += nbytes
+        return total
+
+
+__all__ = ["TapeCartridge", "TapeDrive", "TapeModel", "TapeStacker"]

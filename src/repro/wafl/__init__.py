@@ -1,0 +1,40 @@
+"""A write-anywhere, copy-on-write file system in the style of WAFL.
+
+This is the substrate both backup strategies in the paper run against:
+
+* 4 KB blocks, no fragments; inodes describe files; directories are
+  specially formatted files.
+* Meta-data lives in files: the **inode file** holds every inode and the
+  **block-map file** holds 32 bits per volume block (one bit plane for the
+  active file system plus one per snapshot).  Only the inode describing
+  the inode file lives at a fixed location (the redundant *fsinfo* block).
+* Every write goes to a freshly allocated block (write anywhere); a
+  **consistency point** persists the dirty meta-data so the on-disk image
+  is always self-consistent, and an NVRAM operation log covers the window
+  since the last consistency point.
+* A **snapshot** copies the 128-byte root structure and ORs the active
+  bit plane into the snapshot's plane — creating an instant, read-only,
+  space-shared image of the whole file system.
+
+Logical backup (:mod:`repro.backup.logical`) walks this file system
+through its normal interfaces; physical backup
+(:mod:`repro.backup.physical`) only asks it for block-map information and
+otherwise bypasses it entirely.
+"""
+
+from repro.wafl.consts import BLOCK_SIZE, ROOT_INO
+from repro.wafl.filesystem import WaflFilesystem
+from repro.wafl.fsck import FsckReport, fsck
+from repro.wafl.inode import FileType, Inode
+from repro.wafl.snapsched import SnapshotSchedule
+
+__all__ = [
+    "BLOCK_SIZE",
+    "FileType",
+    "FsckReport",
+    "Inode",
+    "ROOT_INO",
+    "SnapshotSchedule",
+    "WaflFilesystem",
+    "fsck",
+]

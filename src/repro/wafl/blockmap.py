@@ -1,0 +1,319 @@
+"""The 32-bit-per-block allocation map.
+
+The paper: "WAFL's free block data structure contains 32 bits per block
+... The live file system as well as each snapshot is allocated a bit plane
+...; a block is free only when it is not marked as belonging to either the
+live file system or any snapshot."
+
+This module keeps that structure as a numpy ``uint32`` array (bit 0 =
+active plane, bits 1..31 = snapshot planes) plus a free-extent index that
+gives the write-anywhere allocator contiguous runs efficiently.  The same
+bit planes drive incremental image dump: the set of blocks to dump is the
+plane difference ``B − A`` (Table 1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import FilesystemError, NoSpaceError
+from repro.wafl.consts import (
+    ACTIVE_PLANE,
+    BLOCKMAP_ENTRIES_PER_BLOCK,
+    MAX_SNAPSHOT_PLANES,
+)
+
+
+class BlockMap:
+    """32 bit planes over the volume's data blocks plus a free-extent index."""
+
+    def __init__(self, nblocks: int, reserved: int = 0):
+        if nblocks <= reserved:
+            raise FilesystemError("volume too small for its reserved area")
+        self.nblocks = nblocks
+        self.reserved = reserved
+        self.words = np.zeros(nblocks, dtype=np.uint32)
+        # Free extents: sorted starts plus start -> length.
+        self._starts: List[int] = []
+        self._lengths: Dict[int, int] = {}
+        self.dirty_fblocks: Set[int] = set()
+        # Blocks whose bits are clear but which the previous on-disk tree
+        # still references: unavailable until the next consistency point
+        # commits (see free_active / commit_deferred_reuse).
+        self.reuse_excluded: Set[int] = set()
+        self._free_count = 0
+        # A consistency point must always be able to rewrite the dirty
+        # meta-data, so ordinary allocations stop short of this floor.
+        self.cp_reserve = min(
+            max(64, 2 * self.n_fblocks() + 64),
+            max(1, (nblocks - reserved) // 8),
+        )
+        self._rebuild_extents()
+
+    # -- extent index -------------------------------------------------------
+
+    def _rebuild_extents(self) -> None:
+        """Recompute the free-extent index from the bit planes."""
+        free = self.words == 0
+        if self.reserved:
+            free[: self.reserved] = False
+        for excluded in self.reuse_excluded:
+            free[excluded] = False
+        self._starts = []
+        self._lengths = {}
+        self._free_count = int(free.sum())
+        if not free.any():
+            return
+        # Run-length encode the free mask.
+        padded = np.concatenate(([False], free, [False]))
+        edges = np.flatnonzero(padded[1:] != padded[:-1])
+        for start, end in zip(edges[0::2], edges[1::2]):
+            self._starts.append(int(start))
+            self._lengths[int(start)] = int(end - start)
+
+    def _extent_remove_range(self, start: int, count: int) -> None:
+        """Carve ``[start, start+count)`` out of the free extent containing it."""
+        index = bisect.bisect_right(self._starts, start) - 1
+        if index < 0:
+            raise FilesystemError("allocating a block that is not free")
+        ext_start = self._starts[index]
+        ext_len = self._lengths[ext_start]
+        if start + count > ext_start + ext_len:
+            raise FilesystemError("allocation crosses a used region")
+        # Remove the extent and re-add surviving head/tail pieces.
+        del self._starts[index]
+        del self._lengths[ext_start]
+        head = start - ext_start
+        tail = (ext_start + ext_len) - (start + count)
+        if head:
+            bisect.insort(self._starts, ext_start)
+            self._lengths[ext_start] = head
+        if tail:
+            tail_start = start + count
+            bisect.insort(self._starts, tail_start)
+            self._lengths[tail_start] = tail
+        self._free_count -= count
+
+    def _extent_add(self, start: int, count: int = 1) -> None:
+        """Return ``[start, start+count)`` to the free index, merging neighbours."""
+        added = count
+        index = bisect.bisect_right(self._starts, start) - 1
+        # Merge with the previous extent if adjacent.
+        if index >= 0:
+            prev_start = self._starts[index]
+            prev_len = self._lengths[prev_start]
+            if prev_start + prev_len == start:
+                start, count = prev_start, prev_len + count
+                del self._starts[index]
+                del self._lengths[prev_start]
+                index -= 1
+        # Merge with the following extent if adjacent.
+        next_index = index + 1
+        if next_index < len(self._starts) and self._starts[next_index] == start + count:
+            next_start = self._starts[next_index]
+            count += self._lengths[next_start]
+            del self._starts[next_index]
+            del self._lengths[next_start]
+        bisect.insort(self._starts, start)
+        self._lengths[start] = count
+        self._free_count += added
+
+    # -- allocation -----------------------------------------------------------
+
+    def free_blocks(self) -> int:
+        return self._free_count
+
+    def allocate_run(self, want: int, cursor: int,
+                     allow_reserve: bool = False) -> Tuple[int, int]:
+        """Allocate up to ``want`` contiguous blocks at or after ``cursor``.
+
+        Write-anywhere policy: take the first free extent at/after the
+        sweeping cursor, wrapping to the start of the volume when the tail
+        is exhausted.  Returns ``(start, count)`` with ``count <= want``;
+        callers loop for longer allocations.  The run is marked in the
+        active plane.
+
+        Ordinary allocations refuse to dip into the consistency-point
+        reserve; a CP itself passes ``allow_reserve``.
+        """
+        if want <= 0:
+            raise FilesystemError("allocation of %d blocks" % want)
+        if not self._starts:
+            raise NoSpaceError("file system is full")
+        if not allow_reserve and self._free_count - min(
+                want, self._free_count) < self.cp_reserve:
+            raise NoSpaceError(
+                "file system is full (consistency-point reserve)"
+            )
+        index = bisect.bisect_right(self._starts, cursor) - 1
+        start: Optional[int] = None
+        if index >= 0:
+            ext_start = self._starts[index]
+            ext_len = self._lengths[ext_start]
+            if cursor < ext_start + ext_len:
+                start = max(ext_start, cursor)
+                available = ext_start + ext_len - start
+        if start is None:
+            # First extent after the cursor; wrap if none.
+            next_index = index + 1
+            if next_index >= len(self._starts):
+                next_index = 0
+            ext_start = self._starts[next_index]
+            start = ext_start
+            available = self._lengths[ext_start]
+        count = min(want, available)
+        self._extent_remove_range(start, count)
+        self.words[start : start + count] |= np.uint32(1 << ACTIVE_PLANE)
+        self._mark_dirty_range(start, count)
+        return start, count
+
+    def free_active(self, block: int, defer_reuse: bool = False) -> None:
+        """Drop the active plane's claim.
+
+        The block becomes allocatable only when no snapshot plane still
+        holds it.  With ``defer_reuse`` the bit clears immediately (so this
+        consistency point persists the free) but the block stays out of
+        the allocator until :meth:`commit_deferred_reuse` — the previous
+        on-disk tree still references it, and overwriting it before the
+        next consistency point commits would corrupt crash recovery.
+        """
+        self._check(block)
+        word = int(self.words[block])
+        if not word & (1 << ACTIVE_PLANE):
+            raise FilesystemError("double free of block %d" % block)
+        word &= ~(1 << ACTIVE_PLANE)
+        self.words[block] = word
+        self._mark_dirty_range(block, 1)
+        if word == 0:
+            if defer_reuse:
+                self.reuse_excluded.add(block)
+            else:
+                self._extent_add(block)
+
+    def commit_deferred_reuse(self) -> int:
+        """The consistency point committed: deferred blocks become allocatable."""
+        committed = 0
+        for block in sorted(self.reuse_excluded):
+            if int(self.words[block]) == 0:
+                self._extent_add(block)
+                committed += 1
+        self.reuse_excluded.clear()
+        return committed
+
+    def set_active(self, block: int) -> None:
+        """Claim a specific block for the active plane (used on remount/replay)."""
+        self._check(block)
+        word = int(self.words[block])
+        if word & (1 << ACTIVE_PLANE):
+            return
+        if word == 0:
+            if block in self.reuse_excluded:
+                self.reuse_excluded.discard(block)
+            else:
+                self._extent_remove_range(block, 1)
+        self.words[block] = word | (1 << ACTIVE_PLANE)
+        self._mark_dirty_range(block, 1)
+
+    def _check(self, block: int) -> None:
+        if not self.reserved <= block < self.nblocks:
+            raise FilesystemError("block %d outside the allocatable area" % block)
+
+    # -- plane operations -------------------------------------------------------
+
+    def _check_plane(self, plane: int) -> None:
+        if not 1 <= plane <= MAX_SNAPSHOT_PLANES:
+            raise FilesystemError("invalid snapshot plane %d" % plane)
+
+    def plane_in_use(self, plane: int) -> bool:
+        self._check_plane(plane)
+        return bool((self.words & np.uint32(1 << plane)).any())
+
+    def snapshot_create(self, plane: int) -> None:
+        """Copy the active plane into ``plane`` (the snapshot's bit plane)."""
+        self._check_plane(plane)
+        active = (self.words & np.uint32(1 << ACTIVE_PLANE)) != 0
+        self.words[active] |= np.uint32(1 << plane)
+        self.dirty_fblocks.update(range(self.n_fblocks()))
+
+    def snapshot_delete(self, plane: int) -> int:
+        """Clear ``plane``; newly free blocks return to the extent index.
+
+        Returns the number of blocks freed.
+        """
+        self._check_plane(plane)
+        mask = np.uint32(1 << plane)
+        held = (self.words & mask) != 0
+        self.words[held] &= np.uint32(~(1 << plane) & 0xFFFFFFFF)
+        freed = held & (self.words == 0)
+        freed_count = int(freed.sum())
+        if freed_count:
+            self._rebuild_extents()
+        self.dirty_fblocks.update(range(self.n_fblocks()))
+        return freed_count
+
+    def plane_blocks(self, plane: int) -> np.ndarray:
+        """Sorted array of block numbers held by a plane (0 = active)."""
+        if plane == ACTIVE_PLANE:
+            mask = np.uint32(1 << ACTIVE_PLANE)
+        else:
+            self._check_plane(plane)
+            mask = np.uint32(1 << plane)
+        return np.flatnonzero(self.words & mask)
+
+    def plane_difference(self, newer_plane: int, older_plane: int) -> np.ndarray:
+        """Blocks in ``newer_plane`` but not ``older_plane`` (Table 1: B − A)."""
+        newer = (self.words & np.uint32(1 << newer_plane)) != 0
+        older = (self.words & np.uint32(1 << older_plane)) != 0
+        return np.flatnonzero(newer & ~older)
+
+    # -- persistence ------------------------------------------------------------
+
+    def n_fblocks(self) -> int:
+        """Number of 4 KB blocks the serialized map occupies."""
+        return (self.nblocks + BLOCKMAP_ENTRIES_PER_BLOCK - 1) // BLOCKMAP_ENTRIES_PER_BLOCK
+
+    def _mark_dirty_range(self, start: int, count: int) -> None:
+        first = start // BLOCKMAP_ENTRIES_PER_BLOCK
+        last = (start + count - 1) // BLOCKMAP_ENTRIES_PER_BLOCK
+        self.dirty_fblocks.update(range(first, last + 1))
+
+    def serialize_fblock(self, fblock: int) -> bytes:
+        start = fblock * BLOCKMAP_ENTRIES_PER_BLOCK
+        end = min(start + BLOCKMAP_ENTRIES_PER_BLOCK, self.nblocks)
+        chunk = self.words[start:end].astype("<u4").tobytes()
+        return chunk.ljust(BLOCKMAP_ENTRIES_PER_BLOCK * 4, b"\0")
+
+    @classmethod
+    def deserialize(cls, nblocks: int, reserved: int, raw: bytes) -> "BlockMap":
+        """Rebuild a map from the block-map file's contents."""
+        if len(raw) < nblocks * 4:
+            raise FilesystemError("block-map file too short")
+        blockmap = cls.__new__(cls)
+        blockmap.nblocks = nblocks
+        blockmap.reserved = reserved
+        blockmap.words = np.frombuffer(raw[: nblocks * 4], dtype="<u4").astype(np.uint32)
+        blockmap.dirty_fblocks = set()
+        blockmap.reuse_excluded = set()
+        blockmap._free_count = 0
+        blockmap.cp_reserve = min(
+            max(64, 2 * blockmap.n_fblocks() + 64),
+            max(1, (nblocks - reserved) // 8),
+        )
+        blockmap._starts = []
+        blockmap._lengths = {}
+        blockmap._rebuild_extents()
+        return blockmap
+
+    # -- queries for fsck / stats -------------------------------------------------
+
+    def active_block_count(self) -> int:
+        return int(((self.words & np.uint32(1 << ACTIVE_PLANE)) != 0).sum())
+
+    def used_block_count(self) -> int:
+        return int((self.words != 0).sum())
+
+
+__all__ = ["BlockMap"]

@@ -1,0 +1,366 @@
+"""Copy-on-write block trees: mapping file blocks to volume blocks.
+
+Every file (user files, directories, the inode file, the block-map file)
+is a tree of blocks hanging off its inode: 16 direct pointers, one single
+indirect, one double indirect.  A pointer value of 0 is a hole.
+
+The write-anywhere rule is enforced here: writing a file block always
+allocates a fresh volume block, writes there, frees the old block from the
+active plane, and propagates the pointer change upward — copying any
+indirect blocks on the path (they are subject to the same rule).  Nothing
+is ever modified in place, which is what makes snapshots free and, for
+this paper, what fragments a mature file system so that inode-order reads
+become scattered.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import FilesystemError
+from repro.wafl.consts import BLOCK_SIZE, MAX_FILE_BLOCKS, NDIRECT, PTRS_PER_BLOCK
+from repro.wafl.inode import Inode
+
+
+class TreeContext:
+    """Services a :class:`BlockTree` needs from its file system.
+
+    Subclassed/instantiated by :class:`~repro.wafl.filesystem.WaflFilesystem`
+    (read-write, against the active plane) and by snapshot views
+    (read-only).
+    """
+
+    def __init__(self, volume, readonly: bool = False):
+        self.volume = volume
+        self.readonly = readonly
+
+    def alloc_run(self, want: int) -> Tuple[int, int]:
+        raise FilesystemError("read-only context cannot allocate")
+
+    def free_block(self, vbn: int) -> None:
+        raise FilesystemError("read-only context cannot free")
+
+    def allows_inplace(self, vbn: int) -> bool:
+        """Whether ``vbn`` may be rewritten in place.
+
+        True only for blocks allocated since the last consistency point:
+        no on-disk tree references them yet, so overwriting cannot hurt a
+        committed image.  This is what lets the consistency point's
+        block-map fixpoint terminate.
+        """
+        return False
+
+    def inode_dirty(self, inode: Inode) -> None:
+        """The inode's pointers or size changed; persist it at the next CP."""
+
+    def read_block(self, vbn: int) -> bytes:
+        return self.volume.read_block(vbn)
+
+    def write_block(self, vbn: int, data: bytes) -> None:
+        self.volume.write_block(vbn, data)
+
+
+_PTR_STRUCT = struct.Struct("<%dI" % PTRS_PER_BLOCK)
+
+
+def _unpack_ptrs(data: bytes) -> List[int]:
+    return list(_PTR_STRUCT.unpack_from(data, 0))
+
+
+def _pack_ptrs(ptrs: List[int]) -> bytes:
+    return _PTR_STRUCT.pack(*ptrs)
+
+
+class _IndirectBlock:
+    """A loaded indirect block, tracked for copy-on-write flushing."""
+
+    __slots__ = ("vbn", "ptrs", "dirty")
+
+    def __init__(self, vbn: int, ptrs: List[int]):
+        self.vbn = vbn  # 0 when the block does not exist on disk yet
+        self.ptrs = ptrs
+        self.dirty = False
+
+
+class BlockTree:
+    """The pointer tree of one inode.
+
+    A tree instance is a short-lived cursor: it caches indirect blocks
+    while an operation runs and must be :meth:`flush`-ed (read-write
+    contexts) before the operation returns so that all copied indirect
+    blocks and the inode itself reach a consistent state.
+    """
+
+    def __init__(self, ctx: TreeContext, inode: Inode):
+        self.ctx = ctx
+        self.inode = inode
+        # Cache of loaded indirect blocks, keyed by role:
+        #   ("ind",) for the single indirect, ("dptr",) for the double
+        #   indirect pointer block, ("dind", i) for its i-th child.
+        self._cache: Dict[tuple, _IndirectBlock] = {}
+
+    # -- indirect block handling ------------------------------------------------
+
+    def _load(self, key: tuple, vbn: int) -> _IndirectBlock:
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if vbn:
+            ptrs = _unpack_ptrs(self.ctx.read_block(vbn))
+        else:
+            ptrs = [0] * PTRS_PER_BLOCK
+        block = _IndirectBlock(vbn, ptrs)
+        self._cache[key] = block
+        return block
+
+    def _parent_vbn(self, key: tuple) -> int:
+        if key == ("ind",):
+            return self.inode.indirect
+        if key == ("dptr",):
+            return self.inode.dindirect
+        if key[0] == "dind":
+            dptr = self._cache.get(("dptr",))
+            if dptr is None:
+                dptr = self._load(("dptr",), self.inode.dindirect)
+            return dptr.ptrs[key[1]]
+        raise AssertionError(key)
+
+    # -- pointer resolution -------------------------------------------------------
+
+    def _check_fbn(self, fbn: int) -> None:
+        if fbn < 0 or fbn >= MAX_FILE_BLOCKS:
+            raise FilesystemError("file block %d beyond maximum file size" % fbn)
+
+    def get_pointer(self, fbn: int) -> int:
+        """Volume block holding file block ``fbn`` (0 for a hole)."""
+        self._check_fbn(fbn)
+        if fbn < NDIRECT:
+            return self.inode.direct[fbn]
+        fbn -= NDIRECT
+        if fbn < PTRS_PER_BLOCK:
+            if not self.inode.indirect and ("ind",) not in self._cache:
+                return 0
+            return self._load(("ind",), self.inode.indirect).ptrs[fbn]
+        fbn -= PTRS_PER_BLOCK
+        child = fbn // PTRS_PER_BLOCK
+        slot = fbn % PTRS_PER_BLOCK
+        if not self.inode.dindirect and ("dptr",) not in self._cache:
+            return 0
+        dptr = self._load(("dptr",), self.inode.dindirect)
+        child_vbn = dptr.ptrs[child]
+        if not child_vbn and ("dind", child) not in self._cache:
+            return 0
+        return self._load(("dind", child), child_vbn).ptrs[slot]
+
+    def _set_pointer(self, fbn: int, vbn: int) -> None:
+        self._check_fbn(fbn)
+        if fbn < NDIRECT:
+            self.inode.direct[fbn] = vbn
+            self.ctx.inode_dirty(self.inode)
+            return
+        fbn -= NDIRECT
+        if fbn < PTRS_PER_BLOCK:
+            block = self._load(("ind",), self.inode.indirect)
+            block.ptrs[fbn] = vbn
+            block.dirty = True
+            return
+        fbn -= PTRS_PER_BLOCK
+        child = fbn // PTRS_PER_BLOCK
+        slot = fbn % PTRS_PER_BLOCK
+        dptr = self._load(("dptr",), self.inode.dindirect)
+        child_vbn = dptr.ptrs[child]
+        block = self._load(("dind", child), child_vbn)
+        block.ptrs[slot] = vbn
+        block.dirty = True
+
+    # -- data I/O -------------------------------------------------------------------
+
+    def read_fblock(self, fbn: int) -> bytes:
+        vbn = self.get_pointer(fbn)
+        if not vbn:
+            return bytes(BLOCK_SIZE)
+        return self.ctx.read_block(vbn)
+
+    def write_fblock(self, fbn: int, data: bytes) -> None:
+        """Copy-on-write one file block."""
+        if self.ctx.readonly:
+            raise FilesystemError("write through a read-only tree")
+        if len(data) != BLOCK_SIZE:
+            raise FilesystemError("unaligned file block write")
+        old_vbn = self.get_pointer(fbn)
+        if old_vbn and self.ctx.allows_inplace(old_vbn):
+            self.ctx.write_block(old_vbn, data)
+            return
+        new_vbn, count = self.ctx.alloc_run(1)
+        assert count == 1
+        self.ctx.write_block(new_vbn, data)
+        self._set_pointer(fbn, new_vbn)
+        if old_vbn:
+            self.ctx.free_block(old_vbn)
+
+    def write_run(self, fbn: int, data: bytes) -> None:
+        """Write consecutive file blocks, allocating contiguous runs.
+
+        The allocator hands back the longest contiguous run it can at the
+        current cursor; on a young file system a whole file lands as one
+        extent, on an aged one it shatters — the paper's "mature data set"
+        effect.
+        """
+        if self.ctx.readonly:
+            raise FilesystemError("write through a read-only tree")
+        if len(data) % BLOCK_SIZE:
+            raise FilesystemError("unaligned run write")
+        nblocks = len(data) // BLOCK_SIZE
+        offset = 0
+        while offset < nblocks:
+            start_vbn, count = self.ctx.alloc_run(nblocks - offset)
+            chunk = data[offset * BLOCK_SIZE : (offset + count) * BLOCK_SIZE]
+            self.ctx.volume.write_run(start_vbn, chunk)
+            for i in range(count):
+                target = fbn + offset + i
+                old_vbn = self.get_pointer(target)
+                self._set_pointer(target, start_vbn + i)
+                if old_vbn:
+                    self.ctx.free_block(old_vbn)
+            offset += count
+
+    def punch_hole(self, fbn: int) -> None:
+        """Free one file block, leaving a hole."""
+        if self.ctx.readonly:
+            raise FilesystemError("write through a read-only tree")
+        vbn = self.get_pointer(fbn)
+        if vbn:
+            self._set_pointer(fbn, 0)
+            self.ctx.free_block(vbn)
+
+    def truncate_blocks(self, keep_blocks: int) -> None:
+        """Free every file block at or beyond ``keep_blocks``."""
+        if self.ctx.readonly:
+            raise FilesystemError("write through a read-only tree")
+        for fbn, vbn in list(self.allocated_fblocks()):
+            if fbn >= keep_blocks:
+                self._set_pointer(fbn, 0)
+                self.ctx.free_block(vbn)
+
+    # -- enumeration ------------------------------------------------------------------
+
+    def allocated_fblocks(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(fbn, vbn)`` for every allocated file block, in file order."""
+        inode = self.inode
+        for fbn in range(NDIRECT):
+            if inode.direct[fbn]:
+                yield fbn, inode.direct[fbn]
+        if inode.indirect or ("ind",) in self._cache:
+            block = self._load(("ind",), inode.indirect)
+            for slot, vbn in enumerate(block.ptrs):
+                if vbn:
+                    yield NDIRECT + slot, vbn
+        if inode.dindirect or ("dptr",) in self._cache:
+            dptr = self._load(("dptr",), inode.dindirect)
+            for child, child_vbn in enumerate(dptr.ptrs):
+                if not child_vbn and ("dind", child) not in self._cache:
+                    continue
+                block = self._load(("dind", child), child_vbn)
+                base = NDIRECT + PTRS_PER_BLOCK + child * PTRS_PER_BLOCK
+                for slot, vbn in enumerate(block.ptrs):
+                    if vbn:
+                        yield base + slot, vbn
+
+    def extents(self) -> List[Tuple[int, int, int]]:
+        """Physical extents in file order: ``(fbn, vbn, nblocks)`` runs.
+
+        Consecutive file blocks whose volume blocks are also consecutive
+        merge into one extent — the unit logical dump reads with.
+        """
+        runs: List[Tuple[int, int, int]] = []
+        for fbn, vbn in self.allocated_fblocks():
+            if runs:
+                last_fbn, last_vbn, last_len = runs[-1]
+                if fbn == last_fbn + last_len and vbn == last_vbn + last_len:
+                    runs[-1] = (last_fbn, last_vbn, last_len + 1)
+                    continue
+            runs.append((fbn, vbn, 1))
+        return runs
+
+    def metadata_blocks(self) -> List[int]:
+        """Volume blocks holding this tree's indirect blocks (for fsck)."""
+        blocks: List[int] = []
+        inode = self.inode
+        if inode.indirect:
+            blocks.append(inode.indirect)
+        if inode.dindirect:
+            blocks.append(inode.dindirect)
+            dptr = self._load(("dptr",), inode.dindirect)
+            blocks.extend(vbn for vbn in dptr.ptrs if vbn)
+        return blocks
+
+    def free_all(self) -> None:
+        """Free every data and indirect block (file deletion)."""
+        if self.ctx.readonly:
+            raise FilesystemError("write through a read-only tree")
+        for _fbn, vbn in self.allocated_fblocks():
+            self.ctx.free_block(vbn)
+        for vbn in self.metadata_blocks():
+            self.ctx.free_block(vbn)
+        inode = self.inode
+        inode.direct = [0] * NDIRECT
+        inode.indirect = 0
+        inode.dindirect = 0
+        self._cache.clear()
+        self.ctx.inode_dirty(inode)
+
+    # -- flushing --------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Copy-on-write every dirty indirect block and fix up parents.
+
+        Children flush before parents so a parent's pointer update lands in
+        its own copied block.
+        """
+        if self.ctx.readonly:
+            return
+        # Double-indirect children first.
+        for key in sorted(k for k in self._cache if k[0] == "dind"):
+            self._flush_indirect(key)
+        self._flush_indirect(("ind",))
+        self._flush_indirect(("dptr",))
+
+    def _flush_indirect(self, key: tuple) -> None:
+        block = self._cache.get(key)
+        if block is None or not block.dirty:
+            return
+        live_ptrs = any(block.ptrs)
+        old_vbn = block.vbn
+        if old_vbn and live_ptrs and self.ctx.allows_inplace(old_vbn):
+            self.ctx.write_block(old_vbn, _pack_ptrs(block.ptrs))
+            block.dirty = False
+            return
+        if live_ptrs:
+            new_vbn, count = self.ctx.alloc_run(1)
+            assert count == 1
+            self.ctx.write_block(new_vbn, _pack_ptrs(block.ptrs))
+        else:
+            new_vbn = 0  # fully punched: drop the indirect block
+        self._set_parent_pointer(key, new_vbn)
+        if old_vbn:
+            self.ctx.free_block(old_vbn)
+        block.vbn = new_vbn
+        block.dirty = False
+
+    def _set_parent_pointer(self, key: tuple, vbn: int) -> None:
+        if key == ("ind",):
+            self.inode.indirect = vbn
+            self.ctx.inode_dirty(self.inode)
+        elif key == ("dptr",):
+            self.inode.dindirect = vbn
+            self.ctx.inode_dirty(self.inode)
+        elif key[0] == "dind":
+            dptr = self._load(("dptr",), self.inode.dindirect)
+            dptr.ptrs[key[1]] = vbn
+            dptr.dirty = True
+        else:
+            raise AssertionError(key)
+
+
+__all__ = ["BlockTree", "TreeContext"]

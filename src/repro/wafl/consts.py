@@ -1,0 +1,87 @@
+"""On-disk format constants for the WAFL-style file system.
+
+These mirror the paper's description: 4 KB blocks with no fragments, a
+small fixed root structure written redundantly, an inode file, and a block
+map with 32 bit planes (the active file system plus up to 31 snapshot
+slots; the shipping system caps usable snapshots at 20 and so do we).
+"""
+
+from __future__ import annotations
+
+from repro.units import KB
+
+# Block geometry.
+BLOCK_SIZE = 4 * KB
+
+# fsinfo (the root structure): written at fixed blocks, redundantly, as the
+# paper requires ("this inode is written redundantly").
+FSINFO_BLOCKS = 4  # blocks per fsinfo copy
+FSINFO_PRIMARY = 0  # blocks 0..3
+FSINFO_BACKUP = FSINFO_BLOCKS  # blocks 4..7
+RESERVED_BLOCKS = 2 * FSINFO_BLOCKS  # never handed out by the allocator
+FSINFO_MAGIC = b"WAFLrepr"
+FSINFO_VERSION = 3
+
+# Inode layout.
+INODE_SIZE = 256
+INODES_PER_BLOCK = BLOCK_SIZE // INODE_SIZE
+NDIRECT = 16  # direct block pointers per inode
+PTR_SIZE = 4
+PTRS_PER_BLOCK = BLOCK_SIZE // PTR_SIZE  # pointers in an indirect block
+DOS_NAME_LEN = 16
+
+# Well-known inode numbers.  Inode 2 is the file-system root, matching the
+# BSD dump convention the paper cites ("inode #2 is the root of dump").
+INO_INVALID = 0
+INO_BLOCKMAP = 1
+ROOT_INO = 2
+FIRST_USER_INO = 3
+
+# Block map: 32 bits per block.  Plane 0 is the active file system; planes
+# 1..31 are snapshot slots.
+ACTIVE_PLANE = 0
+MAX_SNAPSHOT_PLANES = 31
+MAX_SNAPSHOTS = 20  # the paper: "WAFL allows up to 20 snapshots"
+BLOCKMAP_ENTRY_SIZE = 4
+BLOCKMAP_ENTRIES_PER_BLOCK = BLOCK_SIZE // BLOCKMAP_ENTRY_SIZE
+
+# Directory entry format: fixed header then the name.
+DIR_ENTRY_HEADER = 8  # ino(4) reclen(2) namelen(2)
+MAX_NAME_LEN = 255
+
+# Consistency points: the paper's filer takes one at least every 10
+# simulated seconds; we also force one when the NVRAM log fills.
+CP_INTERVAL_SECONDS = 10.0
+
+# Maximum file size implied by the pointer tree (direct + single +
+# double indirect), in blocks.
+MAX_FILE_BLOCKS = NDIRECT + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK
+
+__all__ = [
+    "ACTIVE_PLANE",
+    "BLOCKMAP_ENTRIES_PER_BLOCK",
+    "BLOCKMAP_ENTRY_SIZE",
+    "BLOCK_SIZE",
+    "CP_INTERVAL_SECONDS",
+    "DIR_ENTRY_HEADER",
+    "DOS_NAME_LEN",
+    "FIRST_USER_INO",
+    "FSINFO_BACKUP",
+    "FSINFO_BLOCKS",
+    "FSINFO_MAGIC",
+    "FSINFO_PRIMARY",
+    "FSINFO_VERSION",
+    "INODES_PER_BLOCK",
+    "INODE_SIZE",
+    "INO_BLOCKMAP",
+    "INO_INVALID",
+    "MAX_FILE_BLOCKS",
+    "MAX_NAME_LEN",
+    "MAX_SNAPSHOTS",
+    "MAX_SNAPSHOT_PLANES",
+    "NDIRECT",
+    "PTRS_PER_BLOCK",
+    "PTR_SIZE",
+    "RESERVED_BLOCKS",
+    "ROOT_INO",
+]

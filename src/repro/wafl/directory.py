@@ -1,0 +1,129 @@
+"""Directories as specially formatted files.
+
+The on-disk format matches what BSD dump expects to re-emit: a packed
+sequence of ``(inode number, record length, name length, name)`` entries,
+including the ``.`` and ``..`` entries.  Restore's internal ``namei`` walks
+exactly this format out of the dumped directory stream.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import FilesystemError
+from repro.wafl.consts import DIR_ENTRY_HEADER, MAX_NAME_LEN
+
+_ENTRY_HEAD = struct.Struct("<IHH")  # ino, reclen, namelen
+
+
+def _record_length(namelen: int) -> int:
+    """Entry records are padded to 4-byte alignment."""
+    return DIR_ENTRY_HEADER + ((namelen + 3) & ~3)
+
+
+def pack_entries(entries: List[Tuple[str, int]]) -> bytes:
+    """Serialize ``(name, ino)`` pairs into directory-file bytes."""
+    parts = []
+    for name, ino in entries:
+        encoded = name.encode("utf-8")
+        if not encoded or len(encoded) > MAX_NAME_LEN:
+            raise FilesystemError("bad directory entry name %r" % name)
+        reclen = _record_length(len(encoded))
+        record = _ENTRY_HEAD.pack(ino, reclen, len(encoded)) + encoded
+        parts.append(record.ljust(reclen, b"\0"))
+    return b"".join(parts)
+
+
+def iter_entries(data: bytes) -> Iterator[Tuple[str, int]]:
+    """Parse directory-file bytes back into ``(name, ino)`` pairs.
+
+    Stops at the first zero record (directories are zero padded up to the
+    block boundary).
+    """
+    offset = 0
+    end = len(data)
+    while offset + DIR_ENTRY_HEADER <= end:
+        ino, reclen, namelen = _ENTRY_HEAD.unpack_from(data, offset)
+        if reclen == 0:
+            break
+        if namelen == 0 or reclen < _record_length(namelen):
+            raise FilesystemError("corrupt directory entry at offset %d" % offset)
+        name_bytes = data[offset + DIR_ENTRY_HEADER : offset + DIR_ENTRY_HEADER + namelen]
+        if len(name_bytes) != namelen:
+            raise FilesystemError("truncated directory entry at offset %d" % offset)
+        yield name_bytes.decode("utf-8"), ino
+        offset += reclen
+
+
+class Directory:
+    """An in-memory view of one directory's contents.
+
+    The file system reads the directory file into one of these, mutates,
+    and writes the serialization back (copy-on-write happens below, in the
+    block tree).
+    """
+
+    def __init__(self, entries: List[Tuple[str, int]] = None):
+        self._order: List[str] = []
+        self._by_name: Dict[str, int] = {}
+        for name, ino in entries or []:
+            self.add(name, ino)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Directory":
+        return cls(list(iter_entries(data)))
+
+    @classmethod
+    def new_empty(cls, self_ino: int, parent_ino: int) -> "Directory":
+        return cls([(".", self_ino), ("..", parent_ino)])
+
+    def pack(self) -> bytes:
+        return pack_entries([(name, self._by_name[name]) for name in self._order])
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, name: str):
+        return self._by_name.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def add(self, name: str, ino: int) -> None:
+        if name in self._by_name:
+            raise FilesystemError("duplicate directory entry %r" % name)
+        if "/" in name or name == "":
+            raise FilesystemError("illegal name %r" % name)
+        self._order.append(name)
+        self._by_name[name] = ino
+
+    def remove(self, name: str) -> int:
+        if name not in self._by_name:
+            raise FilesystemError("no directory entry %r" % name)
+        ino = self._by_name.pop(name)
+        self._order.remove(name)
+        return ino
+
+    def replace(self, name: str, ino: int) -> int:
+        """Point an existing entry at a different inode; returns the old one."""
+        if name not in self._by_name:
+            raise FilesystemError("no directory entry %r" % name)
+        old = self._by_name[name]
+        self._by_name[name] = ino
+        return old
+
+    def entries(self) -> List[Tuple[str, int]]:
+        return [(name, self._by_name[name]) for name in self._order]
+
+    def children(self) -> List[Tuple[str, int]]:
+        """Entries excluding ``.`` and ``..``."""
+        return [(n, i) for n, i in self.entries() if n not in (".", "..")]
+
+    def is_empty(self) -> bool:
+        return not self.children()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+__all__ = ["Directory", "iter_entries", "pack_entries"]

@@ -1,0 +1,933 @@
+"""The write-anywhere file system.
+
+Lifecycle
+---------
+
+``WaflFilesystem.format(volume)`` formats a volume; ``mount(volume)``
+loads the most recent consistency point and replays any NVRAM log.  All
+mutation goes through path-based entry points (``create``, ``write_file``,
+``unlink``, ...) that log to NVRAM; :meth:`consistency_point` persists the
+dirty meta-data so the on-disk image is self-consistent at all times.
+
+Consistency points
+------------------
+
+Between consistency points, writes land in freshly allocated blocks that
+no on-disk tree references yet, so they may be rewritten in place; blocks
+freed by copy-on-write are *deferred* — they stay unavailable until the
+next consistency point commits, because the previous on-disk tree still
+references them.  A crash therefore always falls back to an intact tree,
+and the NVRAM replay regenerates the lost window, exactly the recovery
+story the paper tells.
+
+Snapshots
+---------
+
+``snapshot_create`` takes a consistency point, copies the root structure
+into a snapshot slot, and ORs the active bit plane into the snapshot's
+plane.  Reads of the snapshot go through
+:class:`~repro.wafl.snapshot.SnapshotView` against the same volume.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import (
+    ExistsError,
+    FilesystemError,
+    IsADirectoryError_,
+    NoSpaceError,
+    NotADirectoryError_,
+    NotEmptyError,
+    NotFoundError,
+    SnapshotError,
+)
+from repro.nvram.log import LoggedOp, NvramLog
+from repro.raid.volume import RaidVolume
+from repro.wafl.blockmap import BlockMap
+from repro.wafl.blocktree import BlockTree, TreeContext
+from repro.wafl.consts import (
+    BLOCK_SIZE,
+    FIRST_USER_INO,
+    INODES_PER_BLOCK,
+    INODE_SIZE,
+    INO_BLOCKMAP,
+    RESERVED_BLOCKS,
+    ROOT_INO,
+)
+from repro.wafl.directory import Directory
+from repro.wafl.fsinfo import FsInfo, SnapshotRecord
+from repro.wafl.inode import FileType, Inode
+
+
+class _ActiveContext(TreeContext):
+    """Read-write tree context bound to the active file system."""
+
+    def __init__(self, fs: "WaflFilesystem"):
+        super().__init__(fs.volume, readonly=False)
+        self.fs = fs
+
+    def alloc_run(self, want: int) -> Tuple[int, int]:
+        fs = self.fs
+        start, count = fs.blockmap.allocate_run(
+            want, fs.fsinfo.alloc_cursor, allow_reserve=fs._in_cp
+        )
+        fs.fsinfo.alloc_cursor = (start + count) % fs.blockmap.nblocks
+        fs._fresh_blocks.update(range(start, start + count))
+        return start, count
+
+    def free_block(self, vbn: int) -> None:
+        fs = self.fs
+        if vbn in fs._fresh_blocks:
+            # Never part of a committed image: immediately reusable.
+            fs._fresh_blocks.discard(vbn)
+            fs.blockmap.free_active(vbn)
+        else:
+            # The bit clears now (this CP persists the free) but the block
+            # is not reusable until the CP commits, because the previous
+            # on-disk tree still references it.
+            fs.blockmap.free_active(vbn, defer_reuse=True)
+
+    def allows_inplace(self, vbn: int) -> bool:
+        return vbn in self.fs._fresh_blocks
+
+    def inode_dirty(self, inode: Inode) -> None:
+        fs = self.fs
+        if inode is fs.fsinfo.inofile_inode:
+            fs._root_dirty = True
+        else:
+            fs._dirty_inodes.add(inode.ino)
+
+
+class WaflFilesystem:
+    """A mounted write-anywhere file system on a :class:`RaidVolume`."""
+
+    def __init__(self, volume: RaidVolume, fsinfo: FsInfo, blockmap: BlockMap,
+                 nvram: Optional[NvramLog] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        self.volume = volume
+        self.fsinfo = fsinfo
+        self.blockmap = blockmap
+        self.nvram = nvram
+        self._clock = clock
+        self._ctx = _ActiveContext(self)
+        self._inodes: Dict[int, Inode] = {}
+        self._dirty_inodes: Set[int] = set()
+        self._root_dirty = False
+        self._fresh_blocks: Set[int] = set()
+        self._in_cp = False
+        self._free_ino_heap: List[int] = []
+        self._ino_watermark = FIRST_USER_INO
+        self._replaying = False
+        self.counters: Dict[str, int] = {
+            "cp_count": 0,
+            "files_created": 0,
+            "files_deleted": 0,
+            "bytes_written": 0,
+            "bytes_read": 0,
+            "namei_lookups": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Format and mount
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def format(cls, volume: RaidVolume, nvram: Optional[NvramLog] = None,
+               clock: Optional[Callable[[], float]] = None,
+               cache_blocks: int = 16384) -> "WaflFilesystem":
+        """Format ``volume`` with an empty file system and mount it.
+
+        ``cache_blocks`` sizes the volume's buffer cache (0 disables it),
+        the stand-in for the filer's RAM.
+        """
+        cls._attach_cache(volume, cache_blocks)
+        fsinfo = FsInfo(volume.block_size, volume.nblocks)
+        fsinfo.alloc_cursor = RESERVED_BLOCKS
+        blockmap = BlockMap(volume.nblocks, reserved=RESERVED_BLOCKS)
+        fs = cls(volume, fsinfo, blockmap, nvram=nvram, clock=clock)
+        fs._format()
+        return fs
+
+    @staticmethod
+    def _attach_cache(volume: RaidVolume, cache_blocks: int) -> None:
+        from repro.wafl.buffercache import BlockCache
+
+        if cache_blocks and volume.cache is None:
+            volume.cache = BlockCache(cache_blocks)
+
+    def _format(self) -> None:
+        # The block-map metafile (ino 1).
+        bm_inode = Inode(INO_BLOCKMAP, FileType.REGULAR)
+        bm_inode.nlink = 1
+        bm_inode.generation = self._next_generation()
+        bm_inode.size = self.blockmap.n_fblocks() * BLOCK_SIZE
+        self._install_inode(bm_inode)
+        # The root directory (ino 2).
+        root = Inode(ROOT_INO, FileType.DIRECTORY)
+        root.nlink = 2
+        root.perms = 0o755
+        root.generation = self._next_generation()
+        now = self._now()
+        root.atime = root.mtime = root.ctime = now
+        self._install_inode(root)
+        self._write_directory(root, Directory.new_empty(ROOT_INO, ROOT_INO))
+        self._ino_watermark = FIRST_USER_INO
+        self.blockmap.dirty_fblocks.update(range(self.blockmap.n_fblocks()))
+        self.consistency_point()
+
+    @classmethod
+    def mount(cls, volume: RaidVolume, nvram: Optional[NvramLog] = None,
+              clock: Optional[Callable[[], float]] = None,
+              cache_blocks: int = 16384) -> "WaflFilesystem":
+        """Mount the most recent consistency point, then replay NVRAM.
+
+        This is the boot path the paper describes: no fsck, just load the
+        root structure and replay the operations logged since the last CP.
+        """
+        cls._attach_cache(volume, cache_blocks)
+        fsinfo = FsInfo.read_from(volume)
+        if fsinfo.block_size != volume.block_size or fsinfo.nblocks != volume.nblocks:
+            raise FilesystemError("volume geometry does not match fsinfo")
+        # Bootstrap: read the block-map file through the inode file with a
+        # permissive empty map (reads never allocate).
+        boot_map = BlockMap(volume.nblocks, reserved=RESERVED_BLOCKS)
+        fs = cls(volume, fsinfo, boot_map, nvram=nvram, clock=clock)
+        bm_inode = fs._load_inode(INO_BLOCKMAP)
+        raw = fs._read_tree_bytes(bm_inode)
+        fs.blockmap = BlockMap.deserialize(volume.nblocks, RESERVED_BLOCKS, raw)
+        fs._scan_inodes()
+        if nvram is not None and len(nvram):
+            fs._replay_nvram()
+        return fs
+
+    def _scan_inodes(self) -> None:
+        """Rebuild the inode allocation state from the inode file."""
+        used: List[int] = []
+        inofile = BlockTree(self._ctx, self.fsinfo.inofile_inode)
+        highest = 0
+        for fbn, _vbn in inofile.allocated_fblocks():
+            data = inofile.read_fblock(fbn)
+            for slot in range(INODES_PER_BLOCK):
+                ino = fbn * INODES_PER_BLOCK + slot
+                raw = data[slot * INODE_SIZE : (slot + 1) * INODE_SIZE]
+                if raw[0] != FileType.FREE:
+                    used.append(ino)
+                    highest = max(highest, ino)
+        used_set = set(used)
+        self._ino_watermark = max(highest + 1, FIRST_USER_INO)
+        self._free_ino_heap = [
+            ino for ino in range(FIRST_USER_INO, self._ino_watermark)
+            if ino not in used_set
+        ]
+        heapq.heapify(self._free_ino_heap)
+
+    def _replay_nvram(self) -> None:
+        self._replaying = True
+        try:
+            for op in self.nvram.pending_ops():
+                method = getattr(self, op.method)
+                method(*op.args, **op.kwargs)
+        finally:
+            self._replaying = False
+
+    def crash(self) -> None:
+        """Drop all in-memory state (simulated power loss).
+
+        The volume retains the last consistency point; remount with
+        :meth:`mount` (passing the NVRAM log to recover the tail).
+        """
+        self._inodes.clear()
+        self._dirty_inodes.clear()
+        self._fresh_blocks.clear()
+        self.fsinfo = None  # type: ignore[assignment]
+        self.blockmap = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Clock / ids
+    # ------------------------------------------------------------------
+
+    def _now(self) -> int:
+        if self._clock is not None:
+            return int(self._clock())
+        self.fsinfo.clock_ticks += 1
+        return self.fsinfo.clock_ticks
+
+    def _next_generation(self) -> int:
+        generation = self.fsinfo.next_generation
+        self.fsinfo.next_generation += 1
+        return generation
+
+    # ------------------------------------------------------------------
+    # Inode file plumbing
+    # ------------------------------------------------------------------
+
+    def _inofile_tree(self) -> BlockTree:
+        return BlockTree(self._ctx, self.fsinfo.inofile_inode)
+
+    def _load_inode(self, ino: int) -> Inode:
+        if ino in self._inodes:
+            return self._inodes[ino]
+        if ino < 1:
+            raise NotFoundError("invalid inode number %d" % ino)
+        tree = self._inofile_tree()
+        fbn = ino // INODES_PER_BLOCK
+        data = tree.read_fblock(fbn)
+        slot = ino % INODES_PER_BLOCK
+        inode = Inode.unpack(ino, data[slot * INODE_SIZE : (slot + 1) * INODE_SIZE])
+        self._inodes[ino] = inode
+        return inode
+
+    def _install_inode(self, inode: Inode) -> None:
+        self._inodes[inode.ino] = inode
+        self._dirty_inodes.add(inode.ino)
+
+    def inode(self, ino: int) -> Inode:
+        """Public read access to an inode (raises if free)."""
+        inode = self._load_inode(ino)
+        if inode.is_free:
+            raise NotFoundError("inode %d is free" % ino)
+        return inode
+
+    def max_ino(self) -> int:
+        """Upper bound (exclusive) on in-use inode numbers."""
+        return self._ino_watermark
+
+    def _alloc_ino(self) -> int:
+        if self._free_ino_heap:
+            return heapq.heappop(self._free_ino_heap)
+        ino = self._ino_watermark
+        self._ino_watermark += 1
+        return ino
+
+    def _free_ino(self, ino: int) -> None:
+        heapq.heappush(self._free_ino_heap, ino)
+
+    def iter_used_inodes(self) -> Iterator[Inode]:
+        """All in-use inodes in ascending inode order (dump's walk order)."""
+        for ino in range(1, self._ino_watermark):
+            if ino == INO_BLOCKMAP:
+                continue
+            inode = self._load_inode(ino)
+            if not inode.is_free:
+                yield inode
+
+    # ------------------------------------------------------------------
+    # Consistency points
+    # ------------------------------------------------------------------
+
+    def consistency_point(self) -> None:
+        """Persist all dirty state; the on-disk image becomes current."""
+        self._in_cp = True
+        try:
+            self._consistency_point_locked()
+        finally:
+            self._in_cp = False
+
+    def _consistency_point_locked(self) -> None:
+        # 1. Dirty inodes into the inode file (grouped per inode-file block).
+        if self._dirty_inodes:
+            tree = self._inofile_tree()
+            by_fbn: Dict[int, List[int]] = {}
+            for ino in self._dirty_inodes:
+                by_fbn.setdefault(ino // INODES_PER_BLOCK, []).append(ino)
+            for fbn in sorted(by_fbn):
+                data = bytearray(tree.read_fblock(fbn))
+                for ino in by_fbn[fbn]:
+                    inode = self._inodes[ino]
+                    slot = ino % INODES_PER_BLOCK
+                    data[slot * INODE_SIZE : (slot + 1) * INODE_SIZE] = inode.pack()
+                tree.write_fblock(fbn, bytes(data))
+                needed = (fbn + 1) * BLOCK_SIZE
+                if self.fsinfo.inofile_inode.size < needed:
+                    self.fsinfo.inofile_inode.size = needed
+                    self._root_dirty = True
+            tree.flush()
+            self._dirty_inodes.clear()
+
+        # 2. The block-map file, to fixpoint.  Writing map blocks allocates
+        #    and frees blocks, which dirties more map blocks; blocks
+        #    allocated during this CP are rewritten in place, so each map
+        #    block is copied at most once and the loop terminates.
+        bm_inode = self._load_inode(INO_BLOCKMAP)
+        bm_tree = BlockTree(self._ctx, bm_inode)
+        rounds = 0
+        while self.blockmap.dirty_fblocks or self._dirty_inodes:
+            rounds += 1
+            if rounds > 1000:
+                raise FilesystemError("consistency point failed to converge")
+            while self.blockmap.dirty_fblocks:
+                fbn = min(self.blockmap.dirty_fblocks)
+                self.blockmap.dirty_fblocks.discard(fbn)
+                bm_tree.write_fblock(fbn, self.blockmap.serialize_fblock(fbn))
+            bm_tree.flush()
+            needed = self.blockmap.n_fblocks() * BLOCK_SIZE
+            if bm_inode.size < needed:
+                bm_inode.size = needed
+                self._dirty_inodes.add(INO_BLOCKMAP)
+            # The block-map inode itself changed: write its slot.
+            if self._dirty_inodes:
+                tree = self._inofile_tree()
+                for ino in sorted(self._dirty_inodes):
+                    fbn = ino // INODES_PER_BLOCK
+                    data = bytearray(tree.read_fblock(fbn))
+                    slot = ino % INODES_PER_BLOCK
+                    data[slot * INODE_SIZE : (slot + 1) * INODE_SIZE] = (
+                        self._inodes[ino].pack()
+                    )
+                    tree.write_fblock(fbn, bytes(data))
+                    needed = (fbn + 1) * BLOCK_SIZE
+                    if self.fsinfo.inofile_inode.size < needed:
+                        self.fsinfo.inofile_inode.size = needed
+                tree.flush()
+                self._dirty_inodes.clear()
+
+        # 3. The root structure, written redundantly at its fixed location.
+        self.fsinfo.cp_count += 1
+        self.fsinfo.next_ino_hint = self._ino_watermark
+        self.fsinfo.write_to(self.volume)
+        self._root_dirty = False
+        self._fresh_blocks.clear()
+        self.blockmap.commit_deferred_reuse()
+        if self.nvram is not None:
+            self.nvram.switch_halves()
+        self.counters["cp_count"] += 1
+
+    def _log_op(self, method: str, *args, **kwargs) -> None:
+        if self.nvram is None or self._replaying:
+            return
+        op = LoggedOp(method, args, kwargs)
+        if not self.nvram.try_append(op):
+            # Log half full: take a consistency point, then the op fits.
+            self.consistency_point()
+            if not self.nvram.try_append(op):
+                raise FilesystemError("NVRAM log cannot hold operation")
+
+    # ------------------------------------------------------------------
+    # Path resolution
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise FilesystemError("paths must be absolute: %r" % path)
+        return [part for part in path.split("/") if part]
+
+    def namei(self, path: str) -> int:
+        """Resolve a path to an inode number."""
+        self.counters["namei_lookups"] += 1
+        ino = ROOT_INO
+        for part in self._split(path):
+            inode = self._load_inode(ino)
+            if not inode.is_dir:
+                raise NotADirectoryError_("%r: not a directory" % part)
+            directory = self._read_directory(inode)
+            child = directory.lookup(part)
+            if child is None:
+                raise NotFoundError("no such path %r" % path)
+            ino = child
+        return ino
+
+    def _namei_parent(self, path: str) -> Tuple[Inode, str]:
+        parts = self._split(path)
+        if not parts:
+            raise FilesystemError("operation on the root directory")
+        parent_path = "/" + "/".join(parts[:-1])
+        parent_ino = self.namei(parent_path)
+        parent = self._load_inode(parent_ino)
+        if not parent.is_dir:
+            raise NotADirectoryError_("%r: not a directory" % parent_path)
+        return parent, parts[-1]
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.namei(path)
+            return True
+        except (NotFoundError, NotADirectoryError_):
+            return False
+
+    # ------------------------------------------------------------------
+    # Directory plumbing
+    # ------------------------------------------------------------------
+
+    def _read_tree_bytes(self, inode: Inode) -> bytes:
+        tree = BlockTree(self._ctx, inode)
+        nblocks = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        parts = []
+        for extent_fbn, extent_vbn, extent_len in tree.extents():
+            parts.append((extent_fbn, self.volume.read_run(extent_vbn, extent_len)))
+        out = bytearray(nblocks * BLOCK_SIZE)
+        for fbn, data in parts:
+            out[fbn * BLOCK_SIZE : fbn * BLOCK_SIZE + len(data)] = data
+        return bytes(out[: inode.size])
+
+    def _read_directory(self, inode: Inode) -> Directory:
+        if not inode.is_dir:
+            raise NotADirectoryError_("inode %d is not a directory" % inode.ino)
+        return Directory.parse(self._read_tree_bytes(inode))
+
+    def _write_directory(self, inode: Inode, directory: Directory) -> None:
+        data = directory.pack()
+        nblocks = max(1, (len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE)
+        padded = data.ljust(nblocks * BLOCK_SIZE, b"\0")
+        tree = BlockTree(self._ctx, inode)
+        tree.truncate_blocks(nblocks)
+        tree.write_run(0, padded)
+        tree.flush()
+        inode.size = len(data)
+        inode.mtime = self._now()
+        self._ctx.inode_dirty(inode)
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+
+    def _new_inode(self, type_: int, parent: Inode, perms: int, uid: int,
+                   gid: int) -> Inode:
+        inode = Inode(self._alloc_ino(), type_)
+        inode.nlink = 1
+        inode.perms = perms
+        inode.uid = uid
+        inode.gid = gid
+        inode.qtree = parent.qtree
+        inode.generation = self._next_generation()
+        now = self._now()
+        inode.atime = inode.mtime = inode.ctime = now
+        self._install_inode(inode)
+        return inode
+
+    def create(self, path: str, data: bytes = b"", perms: int = 0o644,
+               uid: int = 0, gid: int = 0) -> int:
+        """Create a regular file (optionally with initial contents)."""
+        self._log_op("create", path, data, perms=perms, uid=uid, gid=gid)
+        parent, name = self._namei_parent(path)
+        directory = self._read_directory(parent)
+        if name in directory:
+            raise ExistsError("path exists: %r" % path)
+        inode = self._new_inode(FileType.REGULAR, parent, perms, uid, gid)
+        directory.add(name, inode.ino)
+        self._write_directory(parent, directory)
+        if data:
+            self._write_inode_data(inode, data, 0)
+        self.counters["files_created"] += 1
+        return inode.ino
+
+    def mkdir(self, path: str, perms: int = 0o755, uid: int = 0, gid: int = 0) -> int:
+        self._log_op("mkdir", path, perms=perms, uid=uid, gid=gid)
+        parent, name = self._namei_parent(path)
+        directory = self._read_directory(parent)
+        if name in directory:
+            raise ExistsError("path exists: %r" % path)
+        inode = self._new_inode(FileType.DIRECTORY, parent, perms, uid, gid)
+        inode.nlink = 2
+        self._write_directory(inode, Directory.new_empty(inode.ino, parent.ino))
+        directory.add(name, inode.ino)
+        self._write_directory(parent, directory)
+        parent.nlink += 1
+        self._ctx.inode_dirty(parent)
+        return inode.ino
+
+    def symlink(self, path: str, target: str) -> int:
+        self._log_op("symlink", path, target)
+        parent, name = self._namei_parent(path)
+        directory = self._read_directory(parent)
+        if name in directory:
+            raise ExistsError("path exists: %r" % path)
+        inode = self._new_inode(FileType.SYMLINK, parent, 0o777, 0, 0)
+        directory.add(name, inode.ino)
+        self._write_directory(parent, directory)
+        self._write_inode_data(inode, target.encode("utf-8"), 0)
+        return inode.ino
+
+    def readlink(self, path: str) -> str:
+        inode = self.inode(self.namei(path))
+        if not inode.is_symlink:
+            raise FilesystemError("%r is not a symlink" % path)
+        return self._read_tree_bytes(inode).decode("utf-8")
+
+    def link(self, existing: str, new_path: str) -> None:
+        """Create a hard link (directories excluded)."""
+        self._log_op("link", existing, new_path)
+        ino = self.namei(existing)
+        inode = self.inode(ino)
+        if inode.is_dir:
+            raise IsADirectoryError_("cannot hard-link a directory")
+        parent, name = self._namei_parent(new_path)
+        directory = self._read_directory(parent)
+        if name in directory:
+            raise ExistsError("path exists: %r" % new_path)
+        directory.add(name, ino)
+        self._write_directory(parent, directory)
+        inode.nlink += 1
+        inode.ctime = self._now()
+        self._ctx.inode_dirty(inode)
+
+    def unlink(self, path: str) -> None:
+        self._log_op("unlink", path)
+        parent, name = self._namei_parent(path)
+        directory = self._read_directory(parent)
+        ino = directory.lookup(name)
+        if ino is None:
+            raise NotFoundError("no such path %r" % path)
+        inode = self._load_inode(ino)
+        if inode.is_dir:
+            raise IsADirectoryError_("unlink on directory %r" % path)
+        directory.remove(name)
+        self._write_directory(parent, directory)
+        inode.nlink -= 1
+        inode.ctime = self._now()
+        if inode.nlink <= 0:
+            self._destroy_inode(inode)
+        else:
+            self._ctx.inode_dirty(inode)
+
+    def rmdir(self, path: str) -> None:
+        self._log_op("rmdir", path)
+        parent, name = self._namei_parent(path)
+        directory = self._read_directory(parent)
+        ino = directory.lookup(name)
+        if ino is None:
+            raise NotFoundError("no such path %r" % path)
+        inode = self._load_inode(ino)
+        if not inode.is_dir:
+            raise NotADirectoryError_("rmdir on non-directory %r" % path)
+        if not self._read_directory(inode).is_empty():
+            raise NotEmptyError("directory %r not empty" % path)
+        directory.remove(name)
+        self._write_directory(parent, directory)
+        parent.nlink -= 1
+        self._ctx.inode_dirty(parent)
+        inode.nlink = 0
+        self._destroy_inode(inode)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """POSIX-style rename; replaces an existing non-directory target."""
+        self._log_op("rename", old_path, new_path)
+        old_parent, old_name = self._namei_parent(old_path)
+        new_parent, new_name = self._namei_parent(new_path)
+        old_dir = self._read_directory(old_parent)
+        ino = old_dir.lookup(old_name)
+        if ino is None:
+            raise NotFoundError("no such path %r" % old_path)
+        moving = self._load_inode(ino)
+        if moving.is_dir:
+            # A directory must not move into its own subtree: walk the new
+            # parent's ancestry and refuse a cycle.
+            cursor = new_parent.ino
+            while cursor != ROOT_INO:
+                if cursor == ino:
+                    raise FilesystemError(
+                        "cannot move %r into its own subtree" % old_path
+                    )
+                cursor = self._read_directory(
+                    self._load_inode(cursor)
+                ).lookup("..")
+        same_dir = old_parent.ino == new_parent.ino
+        new_dir = old_dir if same_dir else self._read_directory(new_parent)
+        existing = new_dir.lookup(new_name)
+        if existing is not None:
+            target = self._load_inode(existing)
+            if target.is_dir:
+                if not moving.is_dir:
+                    raise IsADirectoryError_("cannot replace directory %r" % new_path)
+                if not self._read_directory(target).is_empty():
+                    raise NotEmptyError("target directory %r not empty" % new_path)
+                new_dir.remove(new_name)
+                new_parent.nlink -= 1
+                target.nlink = 0
+                self._destroy_inode(target)
+            else:
+                new_dir.remove(new_name)
+                target.nlink -= 1
+                if target.nlink <= 0:
+                    self._destroy_inode(target)
+                else:
+                    self._ctx.inode_dirty(target)
+        old_dir.remove(old_name)
+        new_dir.add(new_name, ino)
+        if same_dir:
+            self._write_directory(old_parent, old_dir)
+        else:
+            self._write_directory(old_parent, old_dir)
+            self._write_directory(new_parent, new_dir)
+            if moving.is_dir:
+                # Fix up '..' and the parents' link counts.
+                child_dir = self._read_directory(moving)
+                child_dir.replace("..", new_parent.ino)
+                self._write_directory(moving, child_dir)
+                old_parent.nlink -= 1
+                new_parent.nlink += 1
+                self._ctx.inode_dirty(old_parent)
+                self._ctx.inode_dirty(new_parent)
+        moving.ctime = self._now()
+        self._ctx.inode_dirty(moving)
+
+    def _destroy_inode(self, inode: Inode) -> None:
+        tree = BlockTree(self._ctx, inode)
+        tree.free_all()
+        if inode.acl_block:
+            self._ctx.free_block(inode.acl_block)
+            inode.acl_block = 0
+        inode.clear()
+        self._ctx.inode_dirty(inode)
+        self._free_ino(inode.ino)
+        self.counters["files_deleted"] += 1
+
+    # ------------------------------------------------------------------
+    # File data
+    # ------------------------------------------------------------------
+
+    def _write_inode_data(self, inode: Inode, data: bytes, offset: int) -> None:
+        if inode.is_dir:
+            raise IsADirectoryError_("write to directory inode %d" % inode.ino)
+        end = offset + len(data)
+        tree = BlockTree(self._ctx, inode)
+        first_fbn = offset // BLOCK_SIZE
+        last_fbn = (end - 1) // BLOCK_SIZE if data else first_fbn
+        # Assemble whole-block images, merging partial edges with existing
+        # contents, then write as runs.
+        buffered = bytearray()
+        run_start = first_fbn
+        head_pad = offset - first_fbn * BLOCK_SIZE
+        if head_pad:
+            buffered.extend(tree.read_fblock(first_fbn)[:head_pad])
+        buffered.extend(data)
+        tail_end = (last_fbn + 1) * BLOCK_SIZE
+        tail_pad = tail_end - end
+        if tail_pad:
+            existing = tree.read_fblock(last_fbn)
+            buffered.extend(existing[BLOCK_SIZE - tail_pad :])
+        if data:
+            tree.write_run(run_start, bytes(buffered))
+        tree.flush()
+        if end > inode.size:
+            inode.size = end
+        inode.mtime = self._now()
+        self._ctx.inode_dirty(inode)
+        self.counters["bytes_written"] += len(data)
+
+    def write_file(self, path: str, data: bytes, offset: int = 0) -> None:
+        """Write ``data`` at ``offset`` (sparse writes allowed)."""
+        self._log_op("write_file", path, data, offset=offset)
+        inode = self.inode(self.namei(path))
+        self._write_inode_data(inode, data, offset)
+
+    def truncate(self, path: str, size: int) -> None:
+        self._log_op("truncate", path, size)
+        inode = self.inode(self.namei(path))
+        if inode.is_dir:
+            raise IsADirectoryError_("truncate on a directory")
+        keep_blocks = (size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        tree = BlockTree(self._ctx, inode)
+        tree.truncate_blocks(keep_blocks)
+        if size % BLOCK_SIZE and size < inode.size:
+            # Zero the tail of the final kept block.
+            fbn = size // BLOCK_SIZE
+            kept = tree.read_fblock(fbn)
+            cut = size % BLOCK_SIZE
+            tree.write_fblock(fbn, kept[:cut] + bytes(BLOCK_SIZE - cut))
+        tree.flush()
+        inode.size = size
+        inode.mtime = self._now()
+        self._ctx.inode_dirty(inode)
+
+    def read_file(self, path: str) -> bytes:
+        inode = self.inode(self.namei(path))
+        if inode.is_dir:
+            raise IsADirectoryError_("read of directory %r" % path)
+        data = self._read_tree_bytes(inode)
+        self.counters["bytes_read"] += len(data)
+        return data
+
+    def read_by_ino(self, ino: int) -> bytes:
+        inode = self.inode(ino)
+        data = self._read_tree_bytes(inode)
+        self.counters["bytes_read"] += len(data)
+        return data
+
+    def file_extents(self, ino: int) -> List[Tuple[int, int, int]]:
+        """Physical extents of a file: ``(fbn, vbn, nblocks)`` runs."""
+        return BlockTree(self._ctx, self.inode(ino)).extents()
+
+    def read_extent(self, vbn: int, nblocks: int) -> bytes:
+        """Raw extent read (dump's private read path, still via the FS)."""
+        return self.volume.read_run(vbn, nblocks)
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+
+    def stat(self, path: str) -> Inode:
+        """A detached copy of the inode for ``path``."""
+        return self.inode(self.namei(path)).copy()
+
+    def set_attrs(self, path: str, perms: Optional[int] = None,
+                  uid: Optional[int] = None, gid: Optional[int] = None,
+                  mtime: Optional[int] = None, atime: Optional[int] = None,
+                  dos_name: Optional[bytes] = None,
+                  dos_bits: Optional[int] = None,
+                  dos_time: Optional[int] = None) -> None:
+        """Set Unix attributes and the NetApp multi-protocol extensions."""
+        self._log_op("set_attrs", path, perms=perms, uid=uid, gid=gid,
+                     mtime=mtime, atime=atime, dos_name=dos_name,
+                     dos_bits=dos_bits, dos_time=dos_time)
+        inode = self.inode(self.namei(path))
+        if perms is not None:
+            inode.perms = perms
+        if uid is not None:
+            inode.uid = uid
+        if gid is not None:
+            inode.gid = gid
+        if mtime is not None:
+            inode.mtime = mtime
+        if atime is not None:
+            inode.atime = atime
+        if dos_name is not None:
+            inode.dos_name = dos_name
+        if dos_bits is not None:
+            inode.dos_bits = dos_bits
+        if dos_time is not None:
+            inode.dos_time = dos_time
+        inode.ctime = self._now()
+        self._ctx.inode_dirty(inode)
+
+    def set_acl(self, path: str, acl: bytes) -> None:
+        """Attach an NT ACL blob (stored in its own block)."""
+        self._log_op("set_acl", path, acl)
+        if len(acl) > BLOCK_SIZE - 2:
+            raise FilesystemError("ACL larger than one block")
+        inode = self.inode(self.namei(path))
+        if inode.acl_block:
+            self._ctx.free_block(inode.acl_block)
+            inode.acl_block = 0
+        if acl:
+            vbn, count = self._ctx.alloc_run(1)
+            assert count == 1
+            framed = len(acl).to_bytes(2, "little") + acl
+            self.volume.write_block(vbn, framed.ljust(BLOCK_SIZE, b"\0"))
+            inode.acl_block = vbn
+        inode.ctime = self._now()
+        self._ctx.inode_dirty(inode)
+
+    def get_acl(self, path: str) -> bytes:
+        return self.get_acl_by_ino(self.namei(path))
+
+    def get_acl_by_ino(self, ino: int) -> bytes:
+        inode = self.inode(ino)
+        if not inode.acl_block:
+            return b""
+        raw = self.volume.read_block(inode.acl_block)
+        length = int.from_bytes(raw[:2], "little")
+        return raw[2 : 2 + length]
+
+    # ------------------------------------------------------------------
+    # Qtrees
+    # ------------------------------------------------------------------
+
+    def create_qtree(self, name: str) -> int:
+        """A top-level directory forming an independent management subtree.
+
+        Qtrees are how the paper splits the ``home`` volume into equal
+        pieces for parallel logical dumps.
+        """
+        ino = self.mkdir("/" + name)
+        inode = self.inode(ino)
+        inode.qtree = ino  # the qtree id is its root directory's inode
+        self._ctx.inode_dirty(inode)
+        return ino
+
+    def qtree_of(self, path: str) -> int:
+        return self.inode(self.namei(path)).qtree
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def readdir(self, path: str) -> List[Tuple[str, int]]:
+        inode = self.inode(self.namei(path))
+        return self._read_directory(inode).children()
+
+    def readdir_by_ino(self, ino: int) -> List[Tuple[str, int]]:
+        return self._read_directory(self.inode(ino)).children()
+
+    def walk(self, path: str = "/") -> Iterator[Tuple[str, Inode]]:
+        """Depth-first traversal yielding ``(path, inode)``; includes the root."""
+        start_ino = self.namei(path)
+        root = self.inode(start_ino)
+        base = path.rstrip("/")
+        yield (path if path == "/" else base), root
+        if not root.is_dir:
+            return
+        stack = [(base, start_ino)]
+        while stack:
+            prefix, dir_ino = stack.pop()
+            for name, ino in sorted(self.readdir_by_ino(dir_ino)):
+                child_path = "%s/%s" % (prefix, name)
+                inode = self.inode(ino)
+                yield child_path, inode
+                if inode.is_dir:
+                    stack.append((child_path, ino))
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot_create(self, name: str) -> SnapshotRecord:
+        """Instant, read-only copy of the whole file system."""
+        if self.fsinfo.find_snapshot(name) is not None:
+            raise SnapshotError("snapshot %r already exists" % name)
+        plane = self.fsinfo.free_snapshot_plane()
+        # The snapshot must capture a self-consistent on-disk image.
+        self.consistency_point()
+        record = SnapshotRecord(
+            plane,
+            name,
+            self._now(),
+            self.fsinfo.cp_count,
+            self.fsinfo.inofile_inode.copy(),
+        )
+        self.blockmap.snapshot_create(plane)
+        self.fsinfo.snapshots.append(record)
+        self.consistency_point()
+        return record
+
+    def snapshot_delete(self, name: str) -> int:
+        """Delete a snapshot; returns the number of blocks freed."""
+        record = self.fsinfo.find_snapshot(name)
+        if record is None:
+            raise SnapshotError("no snapshot named %r" % name)
+        self.fsinfo.snapshots.remove(record)
+        freed = self.blockmap.snapshot_delete(record.snap_id)
+        self.consistency_point()
+        return freed
+
+    def snapshots(self) -> List[SnapshotRecord]:
+        return list(self.fsinfo.snapshots)
+
+    def snapshot_view(self, name: str):
+        """A read-only file-system view of a snapshot."""
+        from repro.wafl.snapshot import SnapshotView
+
+        record = self.fsinfo.find_snapshot(name)
+        if record is None:
+            raise SnapshotError("no snapshot named %r" % name)
+        return SnapshotView(self.volume, record)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def statfs(self) -> Dict[str, int]:
+        return {
+            "block_size": BLOCK_SIZE,
+            "total_blocks": self.blockmap.nblocks,
+            "free_blocks": self.blockmap.free_blocks(),
+            "active_blocks": self.blockmap.active_block_count(),
+            "used_blocks": self.blockmap.used_block_count(),
+            "snapshots": len(self.fsinfo.snapshots),
+        }
+
+
+__all__ = ["WaflFilesystem"]

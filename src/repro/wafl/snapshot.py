@@ -1,0 +1,142 @@
+"""Read-only views of snapshots.
+
+A :class:`SnapshotView` mounts a snapshot's root structure (the copy of
+the inode-file inode taken at snapshot creation) against the same volume.
+Because every block reachable from that root is pinned by the snapshot's
+bit plane and copy-on-write never overwrites a pinned block, the view is
+immutable even while the active file system keeps changing — this is what
+lets dump "present a completely consistent view of the file system"
+without taking it off line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import FilesystemError, NotADirectoryError_, NotFoundError
+from repro.raid.volume import RaidVolume
+from repro.wafl.blocktree import BlockTree, TreeContext
+from repro.wafl.consts import BLOCK_SIZE, INODES_PER_BLOCK, INODE_SIZE, INO_BLOCKMAP, ROOT_INO
+from repro.wafl.directory import Directory
+from repro.wafl.fsinfo import SnapshotRecord
+from repro.wafl.inode import FileType, Inode
+
+
+class SnapshotView:
+    """Read-only file-system access rooted at a snapshot's inode file."""
+
+    def __init__(self, volume: RaidVolume, record: SnapshotRecord):
+        self.volume = volume
+        self.record = record
+        self.name = record.name
+        self._ctx = TreeContext(volume, readonly=True)
+        self._inofile_inode = record.inofile_inode
+        self._inodes = {}
+
+    # -- inode access -------------------------------------------------------
+
+    def _inofile_tree(self) -> BlockTree:
+        return BlockTree(self._ctx, self._inofile_inode)
+
+    def _load_inode(self, ino: int) -> Inode:
+        if ino in self._inodes:
+            return self._inodes[ino]
+        if ino < 1:
+            raise NotFoundError("invalid inode number %d" % ino)
+        tree = self._inofile_tree()
+        data = tree.read_fblock(ino // INODES_PER_BLOCK)
+        slot = ino % INODES_PER_BLOCK
+        inode = Inode.unpack(ino, data[slot * INODE_SIZE : (slot + 1) * INODE_SIZE])
+        self._inodes[ino] = inode
+        return inode
+
+    def inode(self, ino: int) -> Inode:
+        inode = self._load_inode(ino)
+        if inode.is_free:
+            raise NotFoundError("inode %d is free in snapshot %r" % (ino, self.name))
+        return inode
+
+    def max_ino(self) -> int:
+        return max(1, self._inofile_inode.size // INODE_SIZE)
+
+    def iter_used_inodes(self) -> Iterator[Inode]:
+        for ino in range(1, self.max_ino()):
+            if ino == INO_BLOCKMAP:
+                continue
+            inode = self._load_inode(ino)
+            if not inode.is_free:
+                yield inode
+
+    # -- data access ----------------------------------------------------------
+
+    def _read_tree_bytes(self, inode: Inode) -> bytes:
+        tree = BlockTree(self._ctx, inode)
+        nblocks = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        out = bytearray(nblocks * BLOCK_SIZE)
+        for fbn, vbn, count in tree.extents():
+            data = self.volume.read_run(vbn, count)
+            out[fbn * BLOCK_SIZE : fbn * BLOCK_SIZE + len(data)] = data
+        return bytes(out[: inode.size])
+
+    def read_by_ino(self, ino: int) -> bytes:
+        return self._read_tree_bytes(self.inode(ino))
+
+    def file_extents(self, ino: int) -> List[Tuple[int, int, int]]:
+        return BlockTree(self._ctx, self.inode(ino)).extents()
+
+    def read_extent(self, vbn: int, nblocks: int) -> bytes:
+        return self.volume.read_run(vbn, nblocks)
+
+    def get_acl_by_ino(self, ino: int) -> bytes:
+        inode = self.inode(ino)
+        if not inode.acl_block:
+            return b""
+        raw = self.volume.read_block(inode.acl_block)
+        length = int.from_bytes(raw[:2], "little")
+        return raw[2 : 2 + length]
+
+    # -- namespace ---------------------------------------------------------------
+
+    def readdir_by_ino(self, ino: int) -> List[Tuple[str, int]]:
+        inode = self.inode(ino)
+        if not inode.is_dir:
+            raise NotADirectoryError_("inode %d is not a directory" % ino)
+        return Directory.parse(self._read_tree_bytes(inode)).children()
+
+    def namei(self, path: str) -> int:
+        if not path.startswith("/"):
+            raise FilesystemError("paths must be absolute: %r" % path)
+        ino = ROOT_INO
+        for part in [p for p in path.split("/") if p]:
+            found = None
+            for name, child in self.readdir_by_ino(ino):
+                if name == part:
+                    found = child
+                    break
+            if found is None:
+                raise NotFoundError("no such path %r in snapshot %r" % (path, self.name))
+            ino = found
+        return ino
+
+    def read_file(self, path: str) -> bytes:
+        return self.read_by_ino(self.namei(path))
+
+    def walk(self, path: str = "/") -> Iterator[Tuple[str, Inode]]:
+        start_ino = self.namei(path)
+        root = self.inode(start_ino)
+        base = path.rstrip("/")
+        yield (path if path == "/" else base), root
+        if not root.is_dir:
+            return
+        stack = [(base, start_ino)]
+        while stack:
+            prefix, dir_ino = stack.pop()
+            for name, ino in sorted(self.readdir_by_ino(dir_ino)):
+                child_path = "%s/%s" % (prefix, name)
+                inode = self.inode(ino)
+                yield child_path, inode
+                if inode.is_dir:
+                    stack.append((child_path, ino))
+
+
+__all__ = ["SnapshotView"]

@@ -1,0 +1,28 @@
+"""Synthetic workloads standing in for the paper's data sets.
+
+The paper measured real engineering file systems (``home``: 188 GB over
+31 disks, ``rlse``: 129 GB over 22 disks) — data we cannot have.  This
+package builds statistically similar trees (log-normal file sizes with a
+heavy tail, nested project directories) and then **ages** them with
+create/overwrite/delete churn so the free space scatters and file extents
+fragment, reproducing the paper's footnote that "a mature data set is
+typically slower to backup than a newly created one because of
+fragmentation".
+"""
+
+from repro.workload.distributions import FileSizeDistribution, TreeShape
+from repro.workload.generator import GeneratedTree, WorkloadGenerator
+from repro.workload.aging import AgingConfig, age_filesystem, fragmentation_report
+from repro.workload.mutate import MutationConfig, apply_mutations
+
+__all__ = [
+    "AgingConfig",
+    "FileSizeDistribution",
+    "GeneratedTree",
+    "MutationConfig",
+    "TreeShape",
+    "WorkloadGenerator",
+    "age_filesystem",
+    "apply_mutations",
+    "fragmentation_report",
+]

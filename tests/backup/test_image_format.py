@@ -1,0 +1,102 @@
+"""Image stream format unit tests."""
+
+import pytest
+
+from repro.errors import FormatError, GeometryError
+from repro.backup.physical.image import (
+    CHUNK_HEADER_SIZE,
+    TRAILER_SIZE,
+    ImageHeader,
+    pack_chunk_header,
+    pack_geometry,
+    pack_trailer,
+    try_unpack_trailer,
+    unpack_chunk_header,
+    unpack_geometry,
+)
+from repro.raid.layout import make_geometry
+from repro.wafl.fsinfo import FsInfo
+
+from tests.conftest import make_volume
+
+
+class _Stream:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def read(self, n: int) -> bytes:
+        chunk = self.data[self.offset : self.offset + n]
+        self.offset += n
+        return chunk
+
+
+def test_geometry_roundtrip():
+    geometry = make_geometry(3, 10, 1234)
+    packed = pack_geometry(geometry)
+    recovered, consumed = unpack_geometry(packed)
+    assert recovered == geometry
+    assert consumed == len(packed)
+
+
+def test_header_roundtrip():
+    geometry = make_geometry(2, 4, 100)
+    fsinfo = FsInfo(4096, geometry.data_blocks).pack()
+    header = ImageHeader(geometry, cp_count=9, fsinfo_image=fsinfo,
+                         incremental=True, base_cp=7,
+                         includes_snapshots=True)
+    header.total_blocks = 42
+    recovered = ImageHeader.unpack_from_stream(_Stream(header.pack()).read)
+    assert recovered.geometry == geometry
+    assert recovered.cp_count == 9
+    assert recovered.base_cp == 7
+    assert recovered.incremental
+    assert recovered.includes_snapshots
+    assert recovered.total_blocks == 42
+    assert recovered.fsinfo_image == fsinfo
+
+
+def test_header_bad_magic():
+    with pytest.raises(FormatError):
+        ImageHeader.unpack_from_stream(_Stream(b"x" * 100).read)
+
+
+def test_geometry_check():
+    header = ImageHeader(make_geometry(2, 4, 100), 1, b"")
+    matching = make_volume(ngroups=2, ndata=4, blocks_per_disk=100)
+    header.check_geometry(matching)  # no raise
+    other = make_volume(ngroups=1, ndata=4, blocks_per_disk=100)
+    with pytest.raises(GeometryError):
+        header.check_geometry(other)
+
+
+def test_chunk_header_roundtrip():
+    data = b"payload" * 100
+    raw = pack_chunk_header(555, 3, data)
+    assert len(raw) == CHUNK_HEADER_SIZE
+    start, count, crc = unpack_chunk_header(raw)
+    assert (start, count) == (555, 3)
+    import zlib
+
+    assert crc == zlib.crc32(data)
+
+
+def test_trailer_same_size_as_chunk_header():
+    assert TRAILER_SIZE == CHUNK_HEADER_SIZE
+
+
+def test_trailer_probe():
+    raw = pack_trailer(777)
+    assert try_unpack_trailer(raw) == 777
+    chunk = pack_chunk_header(1, 1, b"")
+    assert try_unpack_trailer(chunk) is None
+
+
+def test_chunk_header_rejects_trailer():
+    with pytest.raises(FormatError):
+        unpack_chunk_header(pack_trailer(5))
+
+
+def test_chunk_header_rejects_garbage():
+    with pytest.raises(FormatError):
+        unpack_chunk_header(b"\x00" * CHUNK_HEADER_SIZE)

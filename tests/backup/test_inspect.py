@@ -1,0 +1,128 @@
+"""Tape inspection tests: table of contents, compare mode, estimation."""
+
+import pytest
+
+from repro.backup import DumpDates, LogicalDump, drain_engine
+from repro.backup.logical.inspect import (
+    compare_tape,
+    estimate_dump,
+    list_tape,
+)
+from repro.wafl.inode import FileType
+
+from tests.conftest import make_drive, make_fs, populate_small_tree
+
+
+@pytest.fixture()
+def dumped():
+    fs = make_fs(name="src")
+    populate_small_tree(fs)
+    drive = make_drive()
+    result = drain_engine(
+        LogicalDump(fs, drive, level=0, dumpdates=DumpDates()).run()
+    )
+    return fs, drive, result
+
+
+class TestListTape:
+    def test_catalog_covers_everything(self, dumped):
+        fs, drive, result = dumped
+        catalog = list_tape(drive)
+        paths = set(catalog.paths())
+        assert "/docs/readme.txt" in paths
+        assert "/src/deep/data.bin" in paths
+        assert "/src" in paths
+        assert "/docs/link" in paths
+
+    def test_entries_carry_attributes(self, dumped):
+        fs, drive, _result = dumped
+        catalog = list_tape(drive)
+        entry = catalog.find("/src/main.c")
+        assert entry is not None
+        live = fs.inode(fs.namei("/src/main.c"))
+        assert entry.size == live.size
+        assert entry.perms == live.perms
+        assert entry.mtime == live.mtime
+        assert entry.ftype == FileType.REGULAR
+        assert entry.nlink == 2  # hard-linked as /src/main-hard.c
+
+    def test_hard_links_both_listed(self, dumped):
+        _fs, drive, _result = dumped
+        catalog = list_tape(drive)
+        main = catalog.find("/src/main.c")
+        alias = catalog.find("/src/main-hard.c")
+        assert main.ino == alias.ino
+
+    def test_counts(self, dumped):
+        _fs, drive, result = dumped
+        catalog = list_tape(drive)
+        assert catalog.dumped_count == result.files + result.directories
+
+    def test_listing_does_not_consume_the_tape(self, dumped):
+        fs, drive, _result = dumped
+        list_tape(drive)
+        from repro.backup import LogicalRestore, verify_trees
+
+        target = make_fs(name="dst")
+        drain_engine(LogicalRestore(target, drive).run())
+        assert verify_trees(fs, target, check_mtime=True) == []
+
+
+class TestCompareTape:
+    def test_fresh_tape_matches(self, dumped):
+        fs, drive, _result = dumped
+        assert compare_tape(fs, drive) == []
+
+    def test_detects_modified_file(self, dumped):
+        fs, drive, _result = dumped
+        fs.write_file("/docs/readme.txt", b"EDITED", 0)
+        problems = compare_tape(fs, drive)
+        assert any("readme" in p and "differ" in p for p in problems)
+
+    def test_detects_deleted_file(self, dumped):
+        fs, drive, _result = dumped
+        fs.unlink("/src/deep/data.bin")
+        problems = compare_tape(fs, drive)
+        assert any("data.bin" in p and "missing" in p for p in problems)
+
+    def test_detects_attr_change(self, dumped):
+        fs, drive, _result = dumped
+        fs.set_attrs("/empty", perms=0o777)
+        problems = compare_tape(fs, drive)
+        assert any("perms" in p for p in problems)
+
+    def test_new_live_files_ignored(self, dumped):
+        fs, drive, _result = dumped
+        fs.create("/made-after-dump", b"x")
+        assert compare_tape(fs, drive) == []
+
+
+class TestEstimateDump:
+    def test_estimate_close_to_actual_full(self, dumped):
+        fs, _drive, result = dumped
+        estimate = estimate_dump(fs, level=0)
+        assert abs(estimate - result.bytes_to_tape) <= \
+            0.10 * result.bytes_to_tape
+
+    def test_estimate_close_for_incremental(self):
+        fs = make_fs(name="src")
+        populate_small_tree(fs)
+        dumpdates = DumpDates()
+        drain_engine(
+            LogicalDump(fs, make_drive("l0"), level=0,
+                        dumpdates=dumpdates).run()
+        )
+        fs.create("/fresh", b"f" * 20000)
+        estimate = estimate_dump(fs, level=1, dumpdates=dumpdates)
+        drive = make_drive("l1")
+        result = drain_engine(
+            LogicalDump(fs, drive, level=1, dumpdates=dumpdates).run()
+        )
+        assert abs(estimate - result.bytes_to_tape) <= \
+            max(4096, 0.15 * result.bytes_to_tape)
+
+    def test_estimate_subtree_smaller_than_full(self, dumped):
+        fs, _drive, _result = dumped
+        full = estimate_dump(fs, level=0)
+        subtree = estimate_dump(fs, level=0, subtree="/docs")
+        assert subtree < full

@@ -1,0 +1,104 @@
+"""Interactive restore (restore -i) session tests."""
+
+import pytest
+
+from repro.errors import BackupError, NotFoundError
+from repro.backup import DumpDates, LogicalDump, drain_engine
+from repro.backup.logical.interactive import InteractiveRestore
+
+from tests.conftest import make_drive, make_fs, populate_small_tree
+
+
+@pytest.fixture()
+def session():
+    fs = make_fs(name="src")
+    populate_small_tree(fs)
+    drive = make_drive()
+    drain_engine(LogicalDump(fs, drive, dumpdates=DumpDates()).run())
+    return fs, InteractiveRestore(drive)
+
+
+def test_navigation(session):
+    _fs, shell = session
+    assert shell.pwd() == "/"
+    shell.cd("src")
+    assert shell.pwd() == "/src"
+    shell.cd("deep")
+    assert shell.pwd() == "/src/deep"
+    shell.cd("..")
+    assert shell.pwd() == "/src"
+    shell.cd("/")
+    assert shell.pwd() == "/"
+
+
+def test_ls_shows_directories_with_slash(session):
+    _fs, shell = session
+    names = shell.ls()
+    assert "docs/" in names
+    assert "src/" in names
+    assert "empty" in names
+
+
+def test_cd_into_file_rejected(session):
+    _fs, shell = session
+    with pytest.raises(BackupError):
+        shell.cd("/empty")
+
+
+def test_cd_missing_rejected(session):
+    _fs, shell = session
+    with pytest.raises(NotFoundError):
+        shell.cd("/no/such")
+
+
+def test_marking_and_display(session):
+    _fs, shell = session
+    shell.cd("docs")
+    shell.add("readme.txt")
+    assert "*readme.txt" in shell.ls()
+    assert shell.marked() == ["/docs/readme.txt"]
+    shell.delete("readme.txt")
+    assert shell.marked() == []
+
+
+def test_directory_mark_covers_children(session):
+    _fs, shell = session
+    shell.add("/src")
+    names = shell.ls("/src")
+    assert all(name.startswith("*") for name in names)
+
+
+def test_unmark_missing_rejected(session):
+    _fs, shell = session
+    with pytest.raises(BackupError):
+        shell.delete("/docs/readme.txt")
+
+
+def test_extract_marked_files(session):
+    source, shell = session
+    shell.cd("docs")
+    shell.add("readme.txt")
+    shell.add("/src/deep")
+    target = make_fs(name="dst")
+    result = shell.extract(target)
+    assert target.read_file("/docs/readme.txt") == \
+        source.read_file("/docs/readme.txt")
+    assert target.read_file("/src/deep/data.bin") == \
+        source.read_file("/src/deep/data.bin")
+    assert not target.exists("/src/main.c")
+    assert result.files >= 2
+
+
+def test_extract_without_marks_rejected(session):
+    _fs, shell = session
+    target = make_fs(name="dst")
+    with pytest.raises(BackupError):
+        shell.extract(target)
+
+
+def test_extract_into_subdirectory(session):
+    source, shell = session
+    shell.add("/empty")
+    target = make_fs(name="dst")
+    shell.extract(target, into="/recovered")
+    assert target.exists("/recovered/empty")

@@ -1,0 +1,121 @@
+"""Bench harness sanity at a tiny scale (fast versions of every table)."""
+
+import pytest
+
+from repro.bench import (
+    build_home_env,
+    format_table,
+    run_concurrent_volumes,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table45,
+)
+from repro.bench.configs import EliotConfig, clear_env_cache
+from repro.bench.report import Row, Table, to_markdown
+
+TINY = 16000  # 1:16000 scale: ~12 MB home volume, seconds per run
+
+
+@pytest.fixture(scope="module")
+def tiny_env():
+    return build_home_env(EliotConfig(scale=TINY, aging_rounds=1))
+
+
+class TestReport:
+    def test_row_ratio(self):
+        assert Row("x", 2.0, 1.0).ratio == pytest.approx(2.0)
+        assert Row("x", 2.0, None).ratio is None
+        assert Row("x", None, 3.0).ratio is None
+
+    def test_format_and_markdown(self):
+        table = Table("demo")
+        table.add("elapsed", 120.0, 100.0, unit="s")
+        table.add("cpu", 0.25, 0.30, unit="%")
+        text = format_table(table)
+        assert "demo" in text
+        assert "1.20x" in text
+        markdown = to_markdown(table)
+        assert markdown.startswith("### demo")
+        assert "| elapsed |" in markdown
+
+    def test_row_lookup(self):
+        table = Table("demo")
+        table.add("a", 1)
+        assert table.row("a").measured == 1
+        with pytest.raises(KeyError):
+            table.row("missing")
+
+
+class TestTable1:
+    def test_semantics_and_verification(self):
+        table, checks = run_table1()
+        assert checks["incremental_matches"]
+        counts = checks["counts"]
+        assert all(value >= 0 for value in counts.values())
+        assert table.row("incremental dump block count").ratio == 1.0
+
+
+class TestBasicTables:
+    def test_table2_rows_and_verification(self, tiny_env):
+        table = run_table2(tiny_env)
+        assert table.row("logical restore verified (diff count)").measured == 0
+        assert table.row("physical restore verified (diff count)").measured == 0
+        # The headline shape: physical backup is not slower than logical.
+        logical = table.row("Logical Backup MBytes/second").measured
+        physical = table.row("Physical Backup MBytes/second").measured
+        assert physical >= logical * 0.9
+        # Physical restore beats logical restore clearly.
+        lr = table.row("Logical Restore MBytes/second").measured
+        pr = table.row("Physical Restore MBytes/second").measured
+        assert pr > lr
+
+    def test_table3_cpu_ratios(self, tiny_env):
+        table = run_table3(tiny_env)
+        dump_ratio = table.row("logical/physical dump CPU ratio").measured
+        restore_ratio = table.row("logical/physical restore CPU ratio").measured
+        # Paper: 5x and >3x; shape check at tiny scale: clearly above 2x.
+        assert dump_ratio > 2.0
+        assert restore_ratio > 1.5
+
+    def test_stage_rows_present(self, tiny_env):
+        table = run_table3(tiny_env)
+        labels = [row.label for row in table.rows]
+        assert any("Dumping files" in label for label in labels)
+        assert any("Creating snapshot" in label for label in labels)
+        assert any("Filling in data" in label for label in labels)
+        assert any("Restoring blocks" in label for label in labels)
+
+
+class TestParallelTables:
+    def test_table45_four_drives(self):
+        table = run_table45(4, EliotConfig(scale=TINY, aging_rounds=1,
+                                           qtrees=4))
+        assert table.row("logical restore verified (diff count)").measured == 0
+        assert table.row("physical restore verified (diff count)").measured == 0
+        logical = table.row("Logical overall GB/hour").measured
+        physical = table.row("Physical overall GB/hour").measured
+        # The paper's summary shape: physical wins on 4 drives.
+        assert physical > logical
+
+    def test_invalid_drive_count(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_table45(3)
+
+    def test_config_qtrees_must_match(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_table45(2, EliotConfig(scale=TINY, qtrees=4))
+
+
+class TestConcurrentVolumes:
+    def test_non_interference(self):
+        table = run_concurrent_volumes(EliotConfig(scale=TINY,
+                                                   aging_rounds=1))
+        solo = table.row("home solo elapsed").measured
+        both = table.row("home concurrent elapsed").measured
+        # Paper: "did not interfere with each other at all".
+        assert both < solo * 1.3

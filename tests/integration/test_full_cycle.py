@@ -1,0 +1,141 @@
+"""End-to-end integration: realistic workloads through the whole stack."""
+
+import pytest
+
+from repro.backup import (
+    DumpDates,
+    ImageDump,
+    ImageRestore,
+    LogicalDump,
+    LogicalRestore,
+    drain_engine,
+    verify_trees,
+)
+from repro.units import MB
+from repro.wafl.filesystem import WaflFilesystem
+from repro.wafl.fsck import fsck, fsck_snapshot
+from repro.workload import (
+    AgingConfig,
+    MutationConfig,
+    WorkloadGenerator,
+    age_filesystem,
+    apply_mutations,
+)
+
+from tests.conftest import make_drive, make_fs
+
+
+@pytest.fixture(scope="module")
+def aged_source():
+    fs = make_fs(ngroups=2, ndata=6, blocks_per_disk=2500, name="src")
+    generator = WorkloadGenerator(seed=77)
+    tree = generator.populate(fs, 24 * MB)
+    age_filesystem(fs, tree, AgingConfig(rounds=2, churn_fraction=0.25,
+                                         seed=78))
+    fs.consistency_point()
+    return fs, tree
+
+
+def test_logical_cycle_on_aged_workload(aged_source):
+    fs, _tree = aged_source
+    drive = make_drive(tapes=4, capacity=64 * MB)
+    dump = drain_engine(LogicalDump(fs, drive, dumpdates=DumpDates()).run())
+    assert dump.files > 50
+    target = make_fs(ngroups=1, ndata=8, blocks_per_disk=2500, name="ldst")
+    drain_engine(LogicalRestore(target, drive).run())
+    assert verify_trees(fs, target, check_mtime=True) == []
+    assert fsck(target).clean
+
+
+def test_physical_cycle_on_aged_workload(aged_source):
+    fs, _tree = aged_source
+    drive = make_drive(tapes=4, capacity=64 * MB)
+    drain_engine(ImageDump(fs, drive, snapshot_name="cycle").run())
+    target_volume = fs.volume.clone_empty()
+    drain_engine(ImageRestore(target_volume, drive).run())
+    target = WaflFilesystem.mount(target_volume)
+    assert verify_trees(fs, target, check_mtime=True) == []
+    assert fsck(target).clean
+    fs.snapshot_delete("cycle")
+
+
+def test_weekly_backup_schedule(aged_source):
+    """A realistic week: level 0 Sunday, level 1 daily, with churn."""
+    fs, tree = aged_source
+    dumpdates = DumpDates()
+    tapes = []
+    drive = make_drive(tapes=4, capacity=64 * MB)
+    drain_engine(LogicalDump(fs, drive, level=0, dumpdates=dumpdates).run())
+    tapes.append(drive)
+    for day in range(1, 4):
+        apply_mutations(fs, tree, MutationConfig(seed=100 + day,
+                                                 modify_fraction=0.04,
+                                                 delete_fraction=0.01,
+                                                 create_fraction=0.02,
+                                                 rename_fraction=0.005))
+        drive = make_drive(tapes=4, capacity=64 * MB)
+        drain_engine(
+            LogicalDump(fs, drive, level=day, dumpdates=dumpdates).run()
+        )
+        tapes.append(drive)
+    target = make_fs(ngroups=2, ndata=6, blocks_per_disk=2500, name="wdst")
+    symtab = None
+    for drive in tapes:
+        result = drain_engine(
+            LogicalRestore(target, drive, symtab=symtab).run()
+        )
+        symtab = result.symtab
+    diffs = verify_trees(fs, target, check_mtime=True)
+    assert diffs == [], diffs[:10]
+    assert fsck(target).clean
+
+
+def test_snapshot_schedule_with_backups(aged_source):
+    """Hourly-style snapshots coexist with dump's own snapshots."""
+    fs, tree = aged_source
+    fs.snapshot_create("hourly.0")
+    apply_mutations(fs, tree, MutationConfig(seed=55, modify_fraction=0.02,
+                                             delete_fraction=0.0,
+                                             create_fraction=0.01,
+                                             rename_fraction=0.0))
+    fs.snapshot_create("hourly.1")
+    drive = make_drive(tapes=4, capacity=64 * MB)
+    drain_engine(LogicalDump(fs, drive, dumpdates=DumpDates()).run())
+    assert {s.name for s in fs.snapshots()} >= {"hourly.0", "hourly.1"}
+    assert fsck_snapshot(fs, "hourly.0").clean
+    assert fsck_snapshot(fs, "hourly.1").clean
+    fs.snapshot_delete("hourly.0")
+    fs.snapshot_delete("hourly.1")
+    assert fsck(fs).clean
+
+
+def test_disaster_recovery_after_media_loss(aged_source):
+    """Physical backup, lose a disk beyond RAID's protection, rebuild."""
+    fs, _tree = aged_source
+    drive = make_drive(tapes=4, capacity=64 * MB)
+    drain_engine(ImageDump(fs, drive, snapshot_name="dr").run())
+    # Disaster: the whole volume is gone; new media, same geometry.
+    new_volume = fs.volume.clone_empty()
+    drain_engine(ImageRestore(new_volume, drive).run())
+    recovered = WaflFilesystem.mount(new_volume)
+    assert verify_trees(fs, recovered, check_mtime=True) == []
+    fs.snapshot_delete("dr")
+
+
+def test_cross_strategy_equivalence(aged_source):
+    """Both strategies restore the same source to identical trees."""
+    fs, _tree = aged_source
+    ldrive = make_drive(tapes=4, capacity=64 * MB)
+    pdrive = make_drive(tapes=4, capacity=64 * MB)
+    drain_engine(LogicalDump(fs, ldrive, dumpdates=DumpDates()).run())
+    drain_engine(ImageDump(fs, pdrive, snapshot_name="x").run())
+    fs.snapshot_delete("x")
+
+    logical_target = make_fs(ngroups=2, ndata=6, blocks_per_disk=2500,
+                             name="lt")
+    drain_engine(LogicalRestore(logical_target, ldrive).run())
+    physical_volume = fs.volume.clone_empty()
+    drain_engine(ImageRestore(physical_volume, pdrive).run())
+    physical_target = WaflFilesystem.mount(physical_volume)
+    assert verify_trees(logical_target, physical_target,
+                        check_mtime=True) == []

@@ -1,0 +1,209 @@
+"""Timed executor tests: pipelines, contention, stage accounting."""
+
+import pytest
+
+from repro.perf import TimedRun
+from repro.perf.costs import HardwareProfile
+from repro.perf.ops import (
+    CpuOp,
+    DiskReadOp,
+    DiskWriteOp,
+    PhaseBegin,
+    PhaseEnd,
+    ReadBarrier,
+    SleepOp,
+    TapeReadOp,
+    TapeWriteOp,
+)
+from repro.units import MB
+
+from tests.conftest import make_drive, make_volume
+
+
+def dump_ops(volume, drive, chunks=50, blocks=256, stage="x"):
+    ops = [PhaseBegin(stage)]
+    for index in range(chunks):
+        ops.append(DiskReadOp(volume, index * blocks, blocks, stage=stage))
+        ops.append(TapeWriteOp(drive, blocks * 4096, 0, stage=stage))
+    ops.append(PhaseEnd(stage))
+    return ops
+
+
+def test_dump_pipeline_is_tape_bound():
+    volume = make_volume()
+    drive = make_drive()
+    run = TimedRun()
+    run.add_ops("job", dump_ops(volume, drive))
+    result = run.run()["job"]
+    total = 50 * 256 * 4096
+    tape_seconds = total / run.profile.tape_rate
+    # Disk (sequential ~60 MB/s) overlaps tape (~9.3 MB/s): elapsed ≈ tape.
+    assert result.elapsed == pytest.approx(tape_seconds, rel=0.15)
+
+
+def test_cpu_bound_pipeline():
+    volume = make_volume()
+    drive = make_drive()
+    ops = [PhaseBegin("x")]
+    for index in range(20):
+        ops.append(DiskReadOp(volume, index * 256, 256, stage="x"))
+        ops.append(CpuOp(1.0, stage="x", side="disk"))
+        ops.append(TapeWriteOp(drive, 256 * 4096, 0, stage="x"))
+    ops.append(PhaseEnd("x"))
+    run = TimedRun()
+    run.add_ops("job", ops)
+    result = run.run()["job"]
+    assert result.elapsed >= 20.0  # gated by 20 s of CPU
+    stage = result.stages["x"]
+    assert stage.cpu_utilization() > 0.8
+
+
+def test_concurrent_jobs_share_cpu():
+    run = TimedRun()
+    ops_a = [CpuOp(5.0, stage="a")]
+    ops_b = [CpuOp(5.0, stage="b")]
+    run.add_ops("a", ops_a)
+    run.add_ops("b", ops_b)
+    results = run.run()
+    end = max(results["a"].end, results["b"].end)
+    assert end == pytest.approx(10.0)  # one CPU serializes them
+
+
+def test_jobs_on_separate_tapes_overlap():
+    volume = make_volume()
+    run = TimedRun()
+    run.add_ops("a", dump_ops(volume, make_drive("t1"), chunks=20))
+    run.add_ops("b", dump_ops(volume, make_drive("t2"), chunks=20))
+    results = run.run()
+    total = 20 * 256 * 4096
+    tape_seconds = total / run.profile.tape_rate
+    end = max(results["a"].end, results["b"].end)
+    # Far less than strictly serial (disk is shared but fast).
+    assert end < 2 * tape_seconds * 0.8
+
+
+def test_restore_direction_sinks_to_disk():
+    volume = make_volume()
+    drive = make_drive()
+    drive.write(b"x" * (20 * 256 * 4096 + 1024))
+    drive.rewind()
+    ops = [PhaseBegin("r")]
+    for index in range(20):
+        ops.append(TapeReadOp(drive, 256 * 4096, 0, stage="r"))
+        ops.append(DiskWriteOp(volume, index * 256, 256, stage="r"))
+    ops.append(PhaseEnd("r"))
+    run = TimedRun()
+    run.add_ops("restore", ops)
+    result = run.run()["restore"]
+    total = 20 * 256 * 4096
+    tape_seconds = total / run.profile.tape_rate
+    assert result.elapsed == pytest.approx(tape_seconds, rel=0.2)
+    assert result.disk_bytes == total
+    assert result.tape_bytes == total
+
+
+def test_prefetch_overlaps_reads():
+    volume = make_volume(ngroups=3, ndata=10, blocks_per_disk=4000)
+    # Scattered single-extent reads across 3 groups, prefetched.
+    serial = TimedRun()
+    ops = []
+    for index in range(90):
+        block = (index % 3) * 10000 + (index * 517) % 9000
+        ops.append(DiskReadOp(volume, block, 8, stage="x"))
+    serial.add_ops("serial", list(ops))
+    serial_elapsed = serial.run()["serial"].elapsed
+
+    prefetched = TimedRun()
+    pops = []
+    for index, op in enumerate(ops):
+        pops.append(DiskReadOp(op.volume, op.start_block, op.nblocks,
+                               stage="x", prefetch=True))
+    pops.append(ReadBarrier(len(pops), stage="x"))
+    prefetched.add_ops("prefetch", pops)
+    prefetch_elapsed = prefetched.run()["prefetch"].elapsed
+    assert prefetch_elapsed < serial_elapsed * 0.7
+
+
+def test_read_barrier_orders_completion():
+    volume = make_volume()
+    run = TimedRun()
+    ops = [
+        DiskReadOp(volume, 0, 1, stage="x", prefetch=True),
+        ReadBarrier(1, stage="x"),
+        CpuOp(0.001, stage="x"),
+    ]
+    run.add_ops("job", ops)
+    result = run.run()["job"]
+    assert result.elapsed > 0
+
+
+def test_stage_accounting():
+    volume = make_volume()
+    drive = make_drive()
+    ops = [PhaseBegin("one")]
+    ops.append(CpuOp(2.0, stage="one"))
+    ops.append(PhaseEnd("one"))
+    ops.append(PhaseBegin("two"))
+    ops.append(SleepOp(3.0, stage="two"))
+    ops.append(PhaseEnd("two"))
+    run = TimedRun()
+    run.add_ops("job", ops)
+    result = run.run()["job"]
+    assert result.stages["one"].elapsed == pytest.approx(2.0)
+    assert result.stages["one"].cpu_utilization() == pytest.approx(1.0)
+    assert result.stages["two"].elapsed == pytest.approx(3.0)
+    assert result.stages["two"].cpu_utilization() == 0.0
+
+
+def test_sleep_does_not_hold_cpu():
+    run = TimedRun()
+    run.add_ops("sleeper", [SleepOp(5.0, stage="s")])
+    run.add_ops("worker", [CpuOp(1.0, stage="w")])
+    results = run.run()
+    assert results["worker"].end == pytest.approx(1.0)
+
+
+def test_media_change_charged():
+    volume = make_volume()
+    drive = make_drive()
+    run = TimedRun()
+    run.add_ops("job", [TapeWriteOp(drive, 1024, 1, stage="x")])
+    result = run.run()["job"]
+    assert result.elapsed >= run.profile.tape_change_time
+
+
+def test_start_at_offsets_job():
+    run = TimedRun()
+    run.add_ops("late", [CpuOp(1.0, stage="x")], start_at=5.0)
+    result = run.run()["late"]
+    assert result.start == pytest.approx(5.0)
+    assert result.end == pytest.approx(6.0)
+
+
+def test_disk_run_spanning_groups():
+    volume = make_volume(ngroups=2, ndata=4, blocks_per_disk=100)
+    run = TimedRun()
+    # 400 is the group boundary; the run covers both groups.
+    run.add_ops("job", [DiskReadOp(volume, 390, 20, stage="x")])
+    result = run.run()["job"]
+    assert result.disk_bytes == 20 * 4096
+    assert len(run._disk_models) == 2
+
+
+def test_narrow_reads_overlap_within_group():
+    volume = make_volume(ngroups=1, ndata=10, blocks_per_disk=5000)
+    run = TimedRun()
+    # Two jobs issuing 1-block (narrow) reads at scattered addresses.
+    ops_a = [DiskReadOp(volume, (i * 997) % 40000, 1, stage="x")
+             for i in range(50)]
+    ops_b = [DiskReadOp(volume, (i * 991 + 13) % 40000, 1, stage="x")
+             for i in range(50)]
+    run.add_ops("a", ops_a)
+    run.add_ops("b", ops_b)
+    results = run.run()
+    end = max(results["a"].end, results["b"].end)
+    solo = TimedRun()
+    solo.add_ops("a", list(ops_a))
+    solo_end = solo.run()["a"].end
+    # Two narrow-read jobs nearly overlap (10 spindles available).
+    assert end < solo_end * 1.5

@@ -1,0 +1,58 @@
+"""Property-based: any file-system state survives the image round trip."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backup import (
+    ImageDump,
+    ImageRestore,
+    drain_engine,
+    verify_trees,
+)
+from repro.wafl.filesystem import WaflFilesystem
+from repro.wafl.fsck import fsck
+
+from tests.conftest import make_drive, make_fs
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10**6), nsnapshots=st.integers(0, 3))
+def test_image_roundtrip_any_state(seed, nsnapshots):
+    rng = random.Random(seed)
+    fs = make_fs(name="src", blocks_per_disk=2500)
+    paths = []
+    for index in range(rng.randrange(1, 12)):
+        path = "/f%d" % index
+        fs.create(path, bytes([rng.randrange(256)]) * rng.randrange(0, 30000))
+        paths.append(path)
+    for snap in range(nsnapshots):
+        if paths and rng.random() < 0.7:
+            victim = rng.choice(paths)
+            fs.write_file(victim, b"mut", rng.randrange(0, 1000))
+        fs.snapshot_create("s%d" % snap)
+    if paths and rng.random() < 0.5:
+        fs.unlink(paths.pop())
+    fs.consistency_point()
+
+    drive = make_drive()
+    drain_engine(ImageDump(fs, drive, include_snapshots=True,
+                           snapshot_name="s0" if nsnapshots else None,
+                           manage_snapshot=nsnapshots == 0).run())
+    target_volume = fs.volume.clone_empty()
+    drain_engine(ImageRestore(target_volume, drive).run())
+    target = WaflFilesystem.mount(target_volume)
+    assert verify_trees(fs, target, check_mtime=True) == []
+    if nsnapshots:
+        assert {s.name for s in target.snapshots()} >= \
+            {"s%d" % i for i in range(nsnapshots)}
+        for snap in range(nsnapshots):
+            source_view = fs.snapshot_view("s%d" % snap)
+            target_view = target.snapshot_view("s%d" % snap)
+            for path, inode in source_view.walk("/"):
+                if inode.is_regular:
+                    assert target_view.read_file(path) == \
+                        source_view.read_file(path)
+    assert fsck(target).clean

@@ -1,0 +1,105 @@
+"""Adversarial property test: random mutation sequences through
+incremental dump/restore chains must always reconcile exactly."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backup import (
+    DumpDates,
+    LogicalDump,
+    LogicalRestore,
+    drain_engine,
+    verify_trees,
+)
+from repro.wafl.fsck import fsck
+
+from tests.conftest import make_drive, make_fs
+
+
+def mutate_randomly(fs, rng, paths, dirs, ops=6):
+    """Apply a handful of random namespace/data mutations."""
+    for _ in range(ops):
+        choice = rng.random()
+        if choice < 0.25 or not paths:
+            # Create (sometimes inside a subdirectory).
+            parent = rng.choice(dirs)
+            name = "%s/n%d" % (parent.rstrip("/"), rng.randrange(10**6))
+            if not fs.exists(name):
+                fs.create(name, bytes([rng.randrange(256)]) * rng.randrange(0, 9000))
+                paths.append(name)
+        elif choice < 0.40:
+            victim = paths.pop(rng.randrange(len(paths)))
+            if fs.exists(victim):
+                fs.unlink(victim)
+        elif choice < 0.55:
+            path = rng.choice(paths)
+            if fs.exists(path):
+                fs.write_file(path, b"M" * rng.randrange(1, 5000),
+                              rng.randrange(0, 4000))
+        elif choice < 0.70:
+            index = rng.randrange(len(paths))
+            old = paths[index]
+            new = old + ".mv%d" % rng.randrange(1000)
+            if fs.exists(old) and not fs.exists(new):
+                fs.rename(old, new)
+                paths[index] = new
+        elif choice < 0.80:
+            # Hard link into another directory.
+            path = rng.choice(paths)
+            parent = rng.choice(dirs)
+            link = "%s/l%d" % (parent.rstrip("/"), rng.randrange(10**6))
+            if fs.exists(path) and not fs.exists(link):
+                fs.link(path, link)
+                paths.append(link)
+        elif choice < 0.90:
+            parent = rng.choice(dirs)
+            name = "%s/d%d" % (parent.rstrip("/"), rng.randrange(10**6))
+            if not fs.exists(name):
+                fs.mkdir(name)
+                dirs.append(name)
+        else:
+            path = rng.choice(paths)
+            if fs.exists(path):
+                fs.set_attrs(path, perms=rng.choice([0o600, 0o640, 0o755]),
+                             uid=rng.randrange(100))
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(seed=st.integers(0, 10**6), levels=st.integers(1, 4))
+def test_random_incremental_chains_reconcile(seed, levels):
+    rng = random.Random(seed)
+    source = make_fs(name="src", blocks_per_disk=3500)
+    paths, dirs = [], ["/"]
+    source.mkdir("/d0")
+    dirs.append("/d0")
+    mutate_randomly(source, rng, paths, dirs, ops=10)
+
+    dumpdates = DumpDates()
+    tapes = []
+    drive = make_drive("lvl0")
+    drain_engine(LogicalDump(source, drive, level=0,
+                             dumpdates=dumpdates).run())
+    tapes.append(drive)
+    for level in range(1, levels + 1):
+        mutate_randomly(source, rng, paths, dirs, ops=8)
+        drive = make_drive("lvl%d" % level)
+        drain_engine(LogicalDump(source, drive, level=level,
+                                 dumpdates=dumpdates).run())
+        tapes.append(drive)
+
+    target = make_fs(name="dst", blocks_per_disk=3500)
+    symtab = None
+    for drive in tapes:
+        result = drain_engine(
+            LogicalRestore(target, drive, symtab=symtab).run()
+        )
+        symtab = result.symtab
+
+    diffs = verify_trees(source, target, check_mtime=True)
+    assert diffs == [], (seed, levels, diffs[:8])
+    report = fsck(target)
+    assert report.clean, report.errors[:5]

@@ -1,0 +1,56 @@
+"""Property-based tests for RAID parity and reconstruction."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.raid.layout import make_geometry
+from repro.raid.volume import RaidVolume
+
+BS = 4096
+
+_fast = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _block(payload: bytes) -> bytes:
+    return (payload * (BS // max(1, len(payload)) + 1))[:BS]
+
+
+@_fast
+@given(st.lists(st.tuples(st.integers(0, 239), st.binary(min_size=1, max_size=16)),
+                min_size=1, max_size=40))
+def test_parity_invariant_under_any_write_sequence(writes):
+    volume = RaidVolume(make_geometry(2, 3, 40), name="v")
+    for block, payload in writes:
+        volume.write_block(block, _block(payload))
+    assert volume.verify_parity()
+
+
+@_fast
+@given(st.lists(st.tuples(st.integers(0, 239), st.binary(min_size=1, max_size=16)),
+                min_size=1, max_size=30),
+       st.integers(0, 2))
+def test_any_single_disk_failure_is_survivable(writes, failed_disk):
+    volume = RaidVolume(make_geometry(2, 3, 40), name="v")
+    expected = {}
+    for block, payload in writes:
+        data = _block(payload)
+        volume.write_block(block, data)
+        expected[block] = data
+    for group in volume.groups:
+        disk = group.data_disks[failed_disk]
+        for stripe in range(disk.nblocks):
+            disk.fail_block(stripe)
+    for block, data in expected.items():
+        assert volume.read_block(block) == data
+
+
+@_fast
+@given(st.integers(0, 239), st.integers(1, 30))
+def test_run_read_equals_block_reads(start, length):
+    volume = RaidVolume(make_geometry(2, 3, 40), name="v")
+    length = min(length, volume.nblocks - start)
+    payload = b"".join(_block(bytes([i % 256])) for i in range(length))
+    volume.write_run(start, payload)
+    joined = b"".join(volume.read_block(start + i) for i in range(length))
+    assert volume.read_run(start, length) == joined == payload

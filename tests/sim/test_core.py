@@ -1,0 +1,215 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.sim import Simulation, SimError, Timeout
+
+
+def test_timeout_advances_clock():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(5.0)
+        return "done"
+
+    process = sim.process(proc())
+    assert sim.run_process(process) == "done"
+    assert sim.now == 5.0
+
+
+def test_timeouts_fire_in_order():
+    sim = Simulation()
+    order = []
+
+    def proc(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.process(proc(3, "c"))
+    sim.process(proc(1, "a"))
+    sim.process(proc(2, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_time_events_fifo():
+    sim = Simulation()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulation()
+    with pytest.raises(SimError):
+        sim.timeout(-1)
+
+
+def test_process_waits_on_process():
+    sim = Simulation()
+
+    def child():
+        yield sim.timeout(4)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    assert sim.run_process(sim.process(parent())) == 43
+    assert sim.now == 4
+
+
+def test_process_return_value_none_by_default():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(1)
+
+    assert sim.run_process(sim.process(proc())) is None
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulation()
+    gate = sim.event()
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append(value)
+
+    def opener():
+        yield sim.timeout(2)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert seen == ["open"]
+    assert sim.now == 2
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulation()
+    gate = sim.event()
+
+    def waiter():
+        yield gate
+
+    process = sim.process(waiter())
+    gate.fail(ValueError("boom"))
+    with pytest.raises(ValueError):
+        sim.run_process(process)
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulation()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimError):
+        event.succeed(2)
+
+
+def test_all_of_collects_values():
+    sim = Simulation()
+
+    def proc(delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    children = [sim.process(proc(d, d * 10)) for d in (3, 1, 2)]
+
+    def parent():
+        values = yield sim.all_of(children)
+        return values
+
+    assert sim.run_process(sim.process(parent())) == [30, 10, 20]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulation()
+
+    def parent():
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run_process(sim.process(parent())) == []
+    assert sim.now == 0
+
+
+def test_run_until_stops_clock():
+    sim = Simulation()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run(until=10)
+    assert sim.now == 10
+
+
+def test_deadlock_detected():
+    sim = Simulation()
+    gate = sim.event()  # never triggered
+
+    def waiter():
+        yield gate
+
+    process = sim.process(waiter())
+    with pytest.raises(SimError, match="deadlock"):
+        sim.run_process(process)
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulation()
+
+    def proc():
+        yield 42
+
+    process = sim.process(proc())
+    with pytest.raises(SimError):
+        sim.run_process(process)
+
+
+def test_interrupt_wakes_sleeper():
+    sim = Simulation()
+    from repro.sim import Interrupt
+
+    caught = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as interrupt:
+            caught.append(interrupt.cause)
+        return "ok"
+
+    def interrupter(target):
+        yield sim.timeout(5)
+        target.interrupt("wake")
+
+    sleeper_proc = sim.process(sleeper())
+    sim.process(interrupter(sleeper_proc))
+    assert sim.run_process(sleeper_proc) == "ok"
+    assert caught == ["wake"]
+    assert sim.now == 5
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulation()
+    event = sim.event()
+    event.succeed("early")
+    sim.run()  # process the event fully
+
+    def late_waiter():
+        value = yield event
+        return value
+
+    assert sim.run_process(sim.process(late_waiter())) == "early"

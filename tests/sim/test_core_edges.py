@@ -1,0 +1,123 @@
+"""Additional DES kernel edge cases."""
+
+import pytest
+
+from repro.sim import Simulation, SimError
+from repro.sim.core import AllOf, Process
+
+
+def test_all_of_propagates_failure():
+    sim = Simulation()
+    good = sim.event()
+    bad = sim.event()
+
+    def waiter():
+        yield sim.all_of([good, bad])
+
+    process = sim.process(waiter())
+    good.succeed(1)
+    bad.fail(RuntimeError("child failed"))
+    with pytest.raises(RuntimeError):
+        sim.run_process(process)
+
+
+def test_process_requires_generator():
+    sim = Simulation()
+    with pytest.raises(SimError):
+        Process(sim, lambda: None)  # not a generator
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulation()
+
+    def quick():
+        yield sim.timeout(1)
+
+    process = sim.process(quick())
+    sim.run_process(process)
+    with pytest.raises(SimError):
+        process.interrupt()
+
+
+def test_unhandled_interrupt_terminates_quietly():
+    sim = Simulation()
+
+    def sleeper():
+        yield sim.timeout(100)
+
+    process = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(1)
+        process.interrupt("stop")
+
+    sim.process(interrupter())
+    # run_process returns the moment the process completes: at the
+    # interrupt (t=1), not at the abandoned timeout (t=100).
+    sim.run_process(process)
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulation()
+    event = sim.event()
+    with pytest.raises(SimError):
+        event.fail("not an exception")
+
+
+def test_run_until_past_is_rejected():
+    sim = Simulation()
+    sim.timeout(5)
+    sim.run()
+    with pytest.raises(SimError):
+        sim.run(until=1)
+
+
+def test_process_failure_propagates_to_waiter():
+    sim = Simulation()
+
+    def broken():
+        yield sim.timeout(1)
+        raise ValueError("inner")
+
+    def outer():
+        yield sim.process(broken())
+
+    process = sim.process(outer())
+    with pytest.raises(ValueError):
+        sim.run_process(process)
+
+
+def test_value_passed_through_timeout():
+    sim = Simulation()
+
+    def proc():
+        value = yield sim.timeout(1, value="ping")
+        return value
+
+    assert sim.run_process(sim.process(proc())) == "ping"
+
+
+def test_event_ok_before_trigger_raises():
+    sim = Simulation()
+    event = sim.event()
+    with pytest.raises(SimError):
+        _ = event.ok
+
+
+def test_nested_processes_three_deep():
+    sim = Simulation()
+
+    def level3():
+        yield sim.timeout(1)
+        return 3
+
+    def level2():
+        value = yield sim.process(level3())
+        return value + 2
+
+    def level1():
+        value = yield sim.process(level2())
+        return value + 1
+
+    assert sim.run_process(sim.process(level1())) == 6

@@ -1,0 +1,175 @@
+"""End-to-end tests for the repro-backup CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run(args):
+    return main([str(a) for a in args])
+
+
+@pytest.fixture()
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_mkfs_and_df(workdir, capsys):
+    assert run(["mkfs", "vol.bin", "--groups", 1, "--disks", 4,
+                "--blocks", 1500]) == 0
+    assert run(["df", "vol.bin"]) == 0
+    out = capsys.readouterr().out
+    assert "formatted vol.bin" in out
+    assert "snapshots: 0" in out
+
+
+def test_put_get_roundtrip(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    source = workdir / "in.txt"
+    source.write_bytes(b"cli payload \x00\x01\x02")
+    assert run(["put", "vol.bin", source, "/f.txt"]) == 0
+    assert run(["get", "vol.bin", "/f.txt", workdir / "out.txt"]) == 0
+    assert (workdir / "out.txt").read_bytes() == b"cli payload \x00\x01\x02"
+
+
+def test_ls_and_rm(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    (workdir / "x").write_bytes(b"x")
+    run(["put", "vol.bin", workdir / "x", "/x"])
+    run(["ls", "vol.bin"])
+    assert "/x" in capsys.readouterr().out
+    assert run(["rm", "vol.bin", "/x"]) == 0
+    capsys.readouterr()
+    run(["ls", "vol.bin"])
+    assert "/x" not in capsys.readouterr().out
+
+
+def test_snapshot_lifecycle(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    assert run(["snap", "vol.bin", "create", "s1"]) == 0
+    run(["snap", "vol.bin", "list"])
+    assert "s1" in capsys.readouterr().out
+    assert run(["snap", "vol.bin", "delete", "s1"]) == 0
+    capsys.readouterr()
+    run(["snap", "vol.bin", "list"])
+    assert "s1" not in capsys.readouterr().out
+
+
+def test_dump_restore_workflow(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    run(["populate", "vol.bin", "--bytes", "2MB", "--seed", 5])
+    assert run(["dump", "vol.bin", "t0.tape", "--level", 0,
+                "--dumpdates", "dd.json"]) == 0
+    assert os.path.exists("dd.json")
+    assert run(["restore", "t0.tape", "new.bin", "--mkfs",
+                "--symtab", "sym.json"]) == 0
+    assert run(["verify", "new.bin", "t0.tape"]) == 0
+    assert json.load(open("sym.json"))
+
+
+def test_incremental_chain_via_cli(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    run(["populate", "vol.bin", "--bytes", "1MB", "--seed", 6])
+    run(["dump", "vol.bin", "l0.tape", "--level", 0,
+         "--dumpdates", "dd.json"])
+    source = workdir / "extra.txt"
+    source.write_bytes(b"added later")
+    run(["put", "vol.bin", source, "/extra.txt"])
+    run(["dump", "vol.bin", "l1.tape", "--level", 1,
+         "--dumpdates", "dd.json"])
+    run(["restore", "l0.tape", "new.bin", "--mkfs", "--symtab", "s.json"])
+    run(["restore", "l1.tape", "new.bin", "--symtab", "s.json"])
+    assert run(["get", "new.bin", "/extra.txt", workdir / "back.txt"]) == 0
+    assert (workdir / "back.txt").read_bytes() == b"added later"
+
+
+def test_selective_restore_via_cli(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    (workdir / "a").write_bytes(b"aa")
+    (workdir / "b").write_bytes(b"bb")
+    run(["put", "vol.bin", workdir / "a", "/a"])
+    run(["put", "vol.bin", workdir / "b", "/b"])
+    run(["dump", "vol.bin", "t.tape"])
+    run(["restore", "t.tape", "new.bin", "--mkfs", "--select", "/a"])
+    capsys.readouterr()
+    run(["ls", "new.bin"])
+    out = capsys.readouterr().out
+    assert "/a" in out
+    assert "/b" not in out
+
+
+def test_image_dump_restore_via_cli(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    run(["populate", "vol.bin", "--bytes", "1MB", "--seed", 7])
+    assert run(["image-dump", "vol.bin", "img.bin",
+                "--snapshot", "base"]) == 0
+    assert run(["image-restore", "img.bin", "replica.bin"]) == 0
+    assert run(["fsck", "replica.bin", "--parity"]) == 0
+
+
+def test_image_incremental_via_cli(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    run(["populate", "vol.bin", "--bytes", "1MB", "--seed", 8])
+    run(["image-dump", "vol.bin", "full.img", "--snapshot", "A"])
+    (workdir / "n").write_bytes(b"new")
+    run(["put", "vol.bin", workdir / "n", "/n"])
+    run(["image-dump", "vol.bin", "incr.img", "--snapshot", "B",
+         "--base", "A"])
+    run(["image-restore", "full.img", "replica.bin"])
+    run(["image-restore", "incr.img", "replica.bin"])
+    assert run(["get", "replica.bin", "/n", workdir / "n2"]) == 0
+    assert (workdir / "n2").read_bytes() == b"new"
+
+
+def test_toc_and_estimate(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    (workdir / "a").write_bytes(b"a" * 5000)
+    run(["put", "vol.bin", workdir / "a", "/a"])
+    run(["dump", "vol.bin", "t.tape"])
+    capsys.readouterr()
+    assert run(["toc", "t.tape"]) == 0
+    assert "/a" in capsys.readouterr().out
+    assert run(["estimate", "vol.bin", "--level", 0]) == 0
+    assert "estimated level-0 dump" in capsys.readouterr().out
+
+
+def test_verify_detects_change(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    (workdir / "a").write_bytes(b"original")
+    run(["put", "vol.bin", workdir / "a", "/a"])
+    run(["dump", "vol.bin", "t.tape"])
+    (workdir / "a2").write_bytes(b"CHANGED!")
+    run(["put", "vol.bin", workdir / "a2", "/a"])
+    assert run(["verify", "vol.bin", "t.tape"]) == 1
+
+
+def test_scrub(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    assert run(["scrub", "vol.bin"]) == 0
+    assert "stripes repaired" in capsys.readouterr().out
+
+
+def test_error_reporting(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    assert run(["get", "vol.bin", "/missing", workdir / "o"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_image_verify_via_cli(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    run(["populate", "vol.bin", "--bytes", "1MB", "--seed", 9])
+    run(["image-dump", "vol.bin", "img.bin", "--snapshot", "v"])
+    assert run(["verify", "vol.bin", "img.bin", "--image"]) == 0
+    out = capsys.readouterr().out
+    assert "matches" in out
+
+
+def test_rebuild_via_cli(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    run(["populate", "vol.bin", "--bytes", "1MB", "--seed", 10])
+    assert run(["rebuild", "vol.bin", "--group", 0, "--disk", 1]) == 0
+    assert run(["fsck", "vol.bin", "--parity"]) == 0

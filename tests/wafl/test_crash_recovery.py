@@ -1,0 +1,139 @@
+"""Crash recovery: consistency points, NVRAM replay, fsinfo redundancy."""
+
+import pytest
+
+from repro.errors import FilesystemError
+from repro.nvram.log import NvramLog
+from repro.units import MB
+from repro.wafl.consts import FSINFO_BLOCKS
+from repro.wafl.filesystem import WaflFilesystem
+from repro.wafl.fsck import fsck
+
+from tests.conftest import make_fs, make_volume, populate_small_tree
+
+
+def test_remount_after_clean_cp(fs):
+    populate_small_tree(fs)
+    fs.consistency_point()
+    volume = fs.volume
+    fs.crash()
+    remounted = WaflFilesystem.mount(volume)
+    assert remounted.read_file("/docs/readme.txt").startswith(b"hello backup")
+    assert fsck(remounted).clean
+
+
+def test_crash_loses_uncommitted_ops_without_nvram():
+    fs = make_fs()
+    fs.create("/kept", b"k")
+    fs.consistency_point()
+    fs.create("/lost", b"l")
+    volume = fs.volume
+    fs.crash()
+    remounted = WaflFilesystem.mount(volume)
+    assert remounted.read_file("/kept") == b"k"
+    assert not remounted.exists("/lost")
+    assert fsck(remounted).clean
+
+
+def test_nvram_replay_recovers_tail():
+    fs = make_fs(nvram=True)
+    nvram = fs.nvram
+    fs.mkdir("/d")
+    fs.create("/d/committed", b"c" * 5000)
+    fs.consistency_point()
+    fs.create("/d/recent", b"r" * 3000)
+    fs.write_file("/d/committed", b"PATCH", 0)
+    fs.rename("/d/recent", "/d/renamed")
+    fs.set_attrs("/d/renamed", perms=0o600)
+    volume = fs.volume
+    fs.crash()
+    remounted = WaflFilesystem.mount(volume, nvram=nvram)
+    assert remounted.read_file("/d/renamed") == b"r" * 3000
+    assert remounted.inode(remounted.namei("/d/renamed")).perms == 0o600
+    assert remounted.read_file("/d/committed")[:5] == b"PATCH"
+    assert fsck(remounted).clean
+
+
+def test_nvram_full_forces_consistency_point():
+    fs = make_fs(nvram=True)
+    cps_before = fs.counters["cp_count"]
+    # Write more than half the 4 MB NVRAM: a CP must trigger.
+    for index in range(6):
+        fs.create("/f%d" % index, b"x" * 512 * 1024)
+    assert fs.counters["cp_count"] > cps_before
+
+
+def test_nvram_failure_is_not_fatal():
+    fs = make_fs(nvram=True)
+    fs.create("/a", b"committed")
+    fs.consistency_point()
+    fs.create("/b", b"in-nvram-only")
+    fs.nvram.fail()
+    volume = fs.volume
+    nvram = fs.nvram
+    fs.crash()
+    # The file system is still self-consistent; only the tail is gone.
+    remounted = WaflFilesystem.mount(volume, nvram=nvram)
+    assert remounted.read_file("/a") == b"committed"
+    assert not remounted.exists("/b")
+    assert fsck(remounted).clean
+
+
+def test_fsinfo_primary_corruption_falls_back():
+    fs = make_fs()
+    fs.create("/f", b"v")
+    fs.consistency_point()
+    volume = fs.volume
+    for block in range(FSINFO_BLOCKS):
+        volume.write_block(block, b"\xde\xad\xbe\xef" * 1024)
+    if volume.cache is not None:
+        volume.cache.clear()
+    remounted = WaflFilesystem.mount(volume)
+    assert remounted.read_file("/f") == b"v"
+
+
+def test_both_fsinfo_copies_corrupt_fails():
+    fs = make_fs()
+    fs.consistency_point()
+    volume = fs.volume
+    for block in range(2 * FSINFO_BLOCKS):
+        volume.write_block(block, b"\x00" * 4096)
+    if volume.cache is not None:
+        volume.cache.clear()
+    with pytest.raises(FilesystemError):
+        WaflFilesystem.mount(volume)
+
+
+def test_repeated_crash_remount_cycles():
+    volume = make_volume()
+    nvram = NvramLog(capacity=2 * MB)
+    fs = WaflFilesystem.format(volume, nvram=nvram)
+    for cycle in range(5):
+        fs.create("/c%d" % cycle, bytes([cycle]) * 1000)
+        if cycle % 2:
+            fs.consistency_point()
+        fs.crash()
+        fs = WaflFilesystem.mount(volume, nvram=nvram)
+    for cycle in range(5):
+        assert fs.read_file("/c%d" % cycle) == bytes([cycle]) * 1000
+    assert fsck(fs).clean
+
+
+def test_mount_rejects_geometry_mismatch():
+    fs = make_fs()
+    fs.consistency_point()
+    image = [fs.volume.read_block(b) for b in range(2 * FSINFO_BLOCKS)]
+    other = make_volume(ngroups=1, ndata=3, blocks_per_disk=1000)
+    for block, data in enumerate(image):
+        other.write_block(block, data)
+    with pytest.raises(FilesystemError):
+        WaflFilesystem.mount(other)
+
+
+def test_cp_count_increases_monotonically(fs):
+    first = fs.fsinfo.cp_count
+    fs.consistency_point()
+    second = fs.fsinfo.cp_count
+    fs.create("/x")
+    fs.consistency_point()
+    assert first < second < fs.fsinfo.cp_count

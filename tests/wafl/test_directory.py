@@ -1,0 +1,96 @@
+"""Directory format unit tests."""
+
+import pytest
+
+from repro.errors import FilesystemError
+from repro.wafl.directory import Directory, iter_entries, pack_entries
+
+
+def test_pack_parse_roundtrip():
+    entries = [(".", 2), ("..", 2), ("hello.txt", 7), ("sub", 9)]
+    data = pack_entries(entries)
+    assert list(iter_entries(data)) == entries
+
+
+def test_unicode_names_roundtrip():
+    entries = [("ünïcødé-文件", 5)]
+    assert list(iter_entries(pack_entries(entries))) == entries
+
+
+def test_records_are_aligned():
+    data = pack_entries([("abc", 1)])
+    assert len(data) % 4 == 0
+
+
+def test_zero_padding_terminates_parse():
+    data = pack_entries([("a", 1)]) + bytes(64)
+    assert list(iter_entries(data)) == [("a", 1)]
+
+
+def test_corrupt_entry_detected():
+    data = bytearray(pack_entries([("abc", 1)]))
+    data[6] = 0xFF  # namelen low byte: name longer than the record
+    data[7] = 0x00
+    with pytest.raises(FilesystemError):
+        list(iter_entries(bytes(data)))
+
+
+def test_long_name_rejected():
+    with pytest.raises(FilesystemError):
+        pack_entries([("x" * 256, 1)])
+
+
+def test_empty_name_rejected():
+    with pytest.raises(FilesystemError):
+        pack_entries([("", 1)])
+
+
+class TestDirectoryObject:
+    def test_new_empty_has_dot_entries(self):
+        directory = Directory.new_empty(5, 2)
+        assert directory.lookup(".") == 5
+        assert directory.lookup("..") == 2
+        assert directory.is_empty()
+
+    def test_add_remove(self):
+        directory = Directory.new_empty(5, 2)
+        directory.add("f", 9)
+        assert "f" in directory
+        assert directory.lookup("f") == 9
+        assert directory.remove("f") == 9
+        assert "f" not in directory
+
+    def test_duplicate_add_rejected(self):
+        directory = Directory.new_empty(5, 2)
+        directory.add("f", 9)
+        with pytest.raises(FilesystemError):
+            directory.add("f", 10)
+
+    def test_slash_in_name_rejected(self):
+        directory = Directory.new_empty(5, 2)
+        with pytest.raises(FilesystemError):
+            directory.add("a/b", 3)
+
+    def test_remove_missing_rejected(self):
+        directory = Directory.new_empty(5, 2)
+        with pytest.raises(FilesystemError):
+            directory.remove("ghost")
+
+    def test_replace(self):
+        directory = Directory.new_empty(5, 2)
+        directory.add("f", 9)
+        assert directory.replace("f", 11) == 9
+        assert directory.lookup("f") == 11
+
+    def test_children_excludes_dots(self):
+        directory = Directory.new_empty(5, 2)
+        directory.add("a", 1)
+        assert directory.children() == [("a", 1)]
+        assert len(directory) == 3
+
+    def test_pack_parse_preserves_order(self):
+        directory = Directory.new_empty(5, 2)
+        for index, name in enumerate(["zz", "aa", "mm"]):
+            directory.add(name, index + 10)
+        recovered = Directory.parse(directory.pack())
+        assert recovered.entries() == directory.entries()

@@ -1,0 +1,94 @@
+"""Unit tests for inode packing and the 256-byte slot format."""
+
+import pytest
+
+from repro.errors import FilesystemError
+from repro.wafl.consts import INODE_SIZE, NDIRECT
+from repro.wafl.inode import FileType, Inode
+
+
+def full_inode() -> Inode:
+    inode = Inode(42, FileType.REGULAR)
+    inode.nlink = 3
+    inode.perms = 0o640
+    inode.uid = 1001
+    inode.gid = 22
+    inode.size = 123456789
+    inode.atime = 11
+    inode.mtime = 22
+    inode.ctime = 33
+    inode.generation = 7
+    inode.qtree = 5
+    inode.dos_name = b"LONGNAME.TXT"
+    inode.dos_bits = 0x27
+    inode.dos_time = 998877
+    inode.direct = list(range(100, 100 + NDIRECT))
+    inode.indirect = 999
+    inode.dindirect = 1000
+    inode.acl_block = 1234
+    return inode
+
+
+def test_pack_size_is_slot_size():
+    assert len(full_inode().pack()) == INODE_SIZE
+
+
+def test_pack_unpack_roundtrip():
+    original = full_inode()
+    recovered = Inode.unpack(42, original.pack())
+    for field in Inode.__slots__:
+        assert getattr(recovered, field) == getattr(original, field), field
+
+
+def test_free_inode_roundtrip():
+    blank = Inode(7)
+    recovered = Inode.unpack(7, blank.pack())
+    assert recovered.is_free
+    assert recovered.direct == [0] * NDIRECT
+
+
+def test_type_predicates():
+    assert Inode(1, FileType.REGULAR).is_regular
+    assert Inode(1, FileType.DIRECTORY).is_dir
+    assert Inode(1, FileType.SYMLINK).is_symlink
+    assert Inode(1, FileType.FREE).is_free
+
+
+def test_dos_name_too_long_rejected():
+    inode = Inode(1, FileType.REGULAR)
+    inode.dos_name = b"x" * 17
+    with pytest.raises(FilesystemError):
+        inode.pack()
+
+
+def test_copy_is_independent():
+    original = full_inode()
+    clone = original.copy()
+    clone.direct[0] = 555
+    clone.size = 1
+    assert original.direct[0] == 100
+    assert original.size == 123456789
+
+
+def test_copy_with_new_ino():
+    clone = full_inode().copy(ino=99)
+    assert clone.ino == 99
+
+
+def test_clear_keeps_generation():
+    inode = full_inode()
+    generation = inode.generation
+    inode.clear()
+    assert inode.is_free
+    assert inode.generation == generation
+    assert inode.size == 0
+    assert inode.direct == [0] * NDIRECT
+
+
+def test_short_slot_rejected():
+    with pytest.raises(FilesystemError):
+        Inode.unpack(1, b"short")
+
+
+def test_repr_mentions_type():
+    assert "file" in repr(Inode(3, FileType.REGULAR))
