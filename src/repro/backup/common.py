@@ -13,9 +13,9 @@ accesses that happened into ``DiskReadOp``/``DiskWriteOp``.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import List
 
-from repro.perf.ops import CpuOp, DiskReadOp, DiskWriteOp, PerfOp
+from repro.perf.ops import CpuOp, DiskReadOp, DiskWriteOp, PerfOp, drain_engine
 from repro.storage.device import READ, IoRecorder
 
 # Engines never read or write more than this many blocks per op, so the
@@ -73,14 +73,8 @@ class RecorderScope:
         return ops
 
 
-def drain_engine(engine: Iterator):
-    """Run an engine generator for its data effects; return its result."""
-    while True:
-        try:
-            next(engine)
-        except StopIteration as stop:
-            return getattr(stop, "value", None)
-
+# drain_engine is re-exported from repro.perf.ops — the single canonical
+# implementation shared with repro.perf.executor.drain.
 
 def chunked_cpu(total_seconds: float, stage: str, side: str = "disk",
                 max_piece: float = 0.05) -> List[CpuOp]:

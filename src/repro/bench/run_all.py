@@ -71,6 +71,17 @@ or run the same experiments as assertions with::
 | Concurrent home+rlse dumps do not interfere (Section 5.1) | yes (<10%% slowdown) |
 | Incremental image dump = bit-plane difference B−A (Table 1) | exact |
 
+## Wall-clock performance
+
+Simulated device time is host-independent, but the simulator's own speed
+is tracked separately: ``python -m repro.bench.wallclock`` times the
+data-plane hot paths (bulk RAID I/O, the block cache, the dump-stream
+codec, the event kernel) and the end-to-end basic experiment, normalizes
+every timing by a fixed calibration workload so machines cancel out, and
+compares against the committed ``BENCH_wallclock.json`` baseline.
+Regenerate the baseline with ``--mode full --write-baseline``; CI runs
+the smoke mode and fails on a >20%% calibration-normalized regression.
+
 """
 
 

@@ -1,0 +1,409 @@
+"""Wall-clock performance harness: how fast the *simulator itself* runs.
+
+Everything else in :mod:`repro.bench` measures simulated seconds; this
+module measures real ones.  It times the hot paths the fast-path work
+targets (bulk volume I/O, the block cache, the dump stream codec, the
+sim kernel) plus the end-to-end ``run_basic`` macro benchmark, and emits
+a JSON report that doubles as a committed regression baseline
+(``BENCH_wallclock.json`` at the repository root).
+
+Raw wall seconds are meaningless across machines, so every report
+includes a *calibration* measurement: the time a fixed pure-Python
+workload takes on this interpreter.  Regression checks compare
+calibration-normalized seconds (``seconds / calibration_seconds``), which
+cancels machine speed and leaves only changes to the code under test.
+
+Usage::
+
+    python -m repro.bench.wallclock --mode smoke            # print report
+    python -m repro.bench.wallclock --mode full --write-baseline
+    python -m repro.bench.wallclock --mode smoke --check --tolerance 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.units import MB
+
+SCHEMA_VERSION = 1
+BASELINE_NAME = "BENCH_wallclock.json"
+
+# Smoke mode mirrors the tier-1 bench tests' tiny testbed (~12 MB home
+# volume); full mode is the default 1:1000 replica the tables use.
+SMOKE_SCALE = 16000
+SMOKE_AGING_ROUNDS = 1
+
+
+def default_baseline_path() -> str:
+    """``BENCH_wallclock.json`` at the repository root (src/../..)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(os.path.join(here, os.pardir, os.pardir, os.pardir))
+    return os.path.join(root, BASELINE_NAME)
+
+
+# ---------------------------------------------------------------------------
+# Calibration
+# ---------------------------------------------------------------------------
+
+def _calibration_workload() -> int:
+    """A fixed, deterministic mix of arithmetic, dict and bytes work."""
+    acc = 0
+    table: Dict[int, int] = {}
+    for i in range(120_000):
+        acc = (acc * 1103515245 + i) & 0xFFFFFFFF
+        table[acc & 1023] = i
+    buf = bytearray(64 * 1024)
+    view = memoryview(buf)
+    chunk = bytes(range(256)) * 16
+    for i in range(0, len(buf), len(chunk)):
+        view[i : i + len(chunk)] = chunk
+    return acc + len(table) + buf[-1]
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Seconds the fixed workload takes (best of ``repeats``)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _calibration_workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Micro benchmarks
+# ---------------------------------------------------------------------------
+
+def bench_volume_io() -> Dict[str, float]:
+    """Bulk read_run/write_run through RAID-4 parity, no cache."""
+    from repro.raid.layout import geometry_for_capacity
+    from repro.raid.volume import RaidVolume
+
+    geometry = geometry_for_capacity(8 * MB, ngroups=2, ndata_disks=6)
+    volume = RaidVolume(geometry, name="wallclock")
+    bs = volume.block_size
+    run_blocks = 64
+    span = volume.nblocks - run_blocks
+    payload = (bytes(range(256)) * ((run_blocks * bs) // 256 + 1))[: run_blocks * bs]
+
+    moved = 0
+    start = time.perf_counter()
+    for rep in range(3):
+        for base in range(0, span, run_blocks):
+            volume.write_run(base, payload)
+            moved += run_blocks * bs
+        for base in range(0, span, run_blocks):
+            data = volume.read_run(base, run_blocks)
+            moved += len(data)
+    seconds = time.perf_counter() - start
+    return {"seconds": seconds, "rate": moved / MB / seconds, "unit": "MB/s"}
+
+
+def bench_block_cache() -> Dict[str, float]:
+    """get_run/put_run hit paths of the LRU block cache."""
+    from repro.wafl.buffercache import BlockCache
+
+    bs = 4096
+    nblocks = 512
+    cache = BlockCache(capacity_blocks=2 * nblocks)
+    data = bytes(nblocks * bs)
+    cache.put_run(0, data, bs)
+
+    ops = 0
+    start = time.perf_counter()
+    for rep in range(40):
+        for base in range(0, nblocks - 8, 8):
+            cache.get_run(base, 8, bs)
+            ops += 8
+        cache.put_run(0, data, bs)
+        ops += nblocks
+    seconds = time.perf_counter() - start
+    return {"seconds": seconds, "rate": ops / seconds, "unit": "block-ops/s"}
+
+
+def bench_dump_stream() -> Dict[str, float]:
+    """Dump-format write + read round trip through an in-memory sink."""
+    from repro.dumpfmt.records import RecordHeader, TapeLabel
+    from repro.dumpfmt.spec import TS_INODE
+    from repro.dumpfmt.stream import (
+        DumpStreamReader,
+        DumpStreamWriter,
+        data_to_segments,
+    )
+    from repro.wafl.inode import FileType
+
+    file_data = (bytes(range(256)) * 256)[: 48 * 1024]
+    nfiles = 80
+
+    start = time.perf_counter()
+    for rep in range(3):
+        sink = io.BytesIO()
+        writer = DumpStreamWriter(sink, date=100, ddate=0)
+        writer.write_tape_header(TapeLabel("wall", "fs", "/", 0, 2, nfiles + 8))
+        writer.write_clri([], nfiles + 8)
+        writer.write_bits(range(2, nfiles + 2), nfiles + 8)
+        for ino in range(2, nfiles + 2):
+            header = RecordHeader(TS_INODE, ino)
+            header.size = len(file_data)
+            header.ftype = FileType.REGULAR
+            writer.begin_inode(header)
+            writer.feed_segments(data_to_segments(file_data))
+            writer.end_inode()
+        writer.write_end()
+
+        sink.seek(0)
+        reader = DumpStreamReader(sink)
+        reader.read_preamble()
+        while reader.next_inode() is not None:
+            pass
+    seconds = time.perf_counter() - start
+    moved = 2 * 3 * nfiles * len(file_data)  # written + read back
+    return {"seconds": seconds, "rate": moved / MB / seconds, "unit": "MB/s"}
+
+
+def bench_sim_kernel() -> Dict[str, float]:
+    """Timeout / Resource / Store hot paths of the event kernel."""
+    from repro.sim.core import Simulation
+    from repro.sim.resources import Resource, Store
+
+    sim = Simulation()
+    cpu = Resource(sim, capacity=2, name="cpu")
+    store = Store(sim, capacity=64, name="buf")
+    rounds = 20_000
+    events = {"count": 0}
+
+    def producer():
+        for i in range(rounds):
+            request = yield cpu.acquire()
+            yield sim.timeout(0.001)
+            cpu.release(request)
+            yield store.put(i, weight=1)
+            events["count"] += 4
+
+    def consumer():
+        for _ in range(rounds):
+            yield store.get()
+            yield sim.timeout(0.0005)
+            events["count"] += 2
+
+    sim.process(producer())
+    sim.process(consumer())
+    start = time.perf_counter()
+    sim.run()
+    seconds = time.perf_counter() - start
+    return {"seconds": seconds, "rate": events["count"] / seconds,
+            "unit": "events/s"}
+
+
+MICRO_BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
+    "micro.volume_io": bench_volume_io,
+    "micro.block_cache": bench_block_cache,
+    "micro.dump_stream": bench_dump_stream,
+    "micro.sim_kernel": bench_sim_kernel,
+}
+
+
+# ---------------------------------------------------------------------------
+# Macro benchmark: the basic four-operation experiment, end to end
+# ---------------------------------------------------------------------------
+
+def _macro_config(mode: str):
+    from repro.bench.configs import EliotConfig
+
+    if mode == "smoke":
+        return EliotConfig(scale=SMOKE_SCALE, aging_rounds=SMOKE_AGING_ROUNDS)
+    return EliotConfig()
+
+
+def bench_macro(mode: str, repeats: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+    """Time testbed construction and ``run_basic`` on a fresh environment.
+
+    The environment is built directly (bypassing the module-level cache)
+    so repeated invocations — and the pytest gate running alongside other
+    bench tests — always measure a cold build.  Smoke mode is short enough
+    to be noisy, so it takes the best of two runs; garbage from whatever
+    ran before is collected outside the timed regions.
+    """
+    import gc
+
+    from repro.bench.configs import ExperimentEnv
+    from repro.bench.harness import run_basic
+
+    if repeats is None:
+        repeats = 2 if mode == "smoke" else 1
+    build_seconds = float("inf")
+    run_seconds = float("inf")
+    results = None
+    for _ in range(repeats):
+        env = ExperimentEnv(_macro_config(mode))
+        gc.collect()
+        start = time.perf_counter()
+        env.build_home()
+        build_seconds = min(build_seconds, time.perf_counter() - start)
+
+        gc.collect()
+        start = time.perf_counter()
+        results = run_basic(env)
+        run_seconds = min(run_seconds, time.perf_counter() - start)
+    # Four single-drive passes (two dumps, two restores) each move the
+    # active data set once at the block level.
+    moved = 4 * results["data_bytes"]
+    return {
+        "macro.%s.build_env" % mode: {"seconds": build_seconds},
+        "macro.%s.run_basic" % mode: {
+            "seconds": run_seconds,
+            "rate": moved / MB / run_seconds,
+            "unit": "MB/s",
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness driver
+# ---------------------------------------------------------------------------
+
+def run_harness(mode: str = "smoke", quiet: bool = True) -> Dict:
+    """Run calibration + micro benchmarks + the mode's macro benchmarks.
+
+    ``full`` mode includes the smoke macro as well, so a full baseline
+    carries every key a smoke check needs.
+    """
+    if mode not in ("smoke", "full"):
+        raise ValueError("mode must be 'smoke' or 'full', got %r" % (mode,))
+
+    def note(text: str) -> None:
+        if not quiet:
+            print(text, file=sys.stderr)
+
+    note("calibrating ...")
+    report: Dict = {
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "calibration_seconds": calibrate(),
+        "benchmarks": {},
+    }
+    for name, bench in MICRO_BENCHMARKS.items():
+        note("running %s ..." % name)
+        # Best of three: micro runs are fractions of a second and a single
+        # scheduler hiccup would dominate them.
+        report["benchmarks"][name] = min(
+            (bench() for _ in range(3)), key=lambda entry: entry["seconds"]
+        )
+    macro_modes = ["smoke"] if mode == "smoke" else ["smoke", "full"]
+    for macro_mode in macro_modes:
+        note("running macro (%s) ..." % macro_mode)
+        report["benchmarks"].update(bench_macro(macro_mode))
+    return report
+
+
+def check_regression(current: Dict, baseline: Dict,
+                     tolerance: float = 0.2) -> List[str]:
+    """Compare calibration-normalized seconds; return regression messages.
+
+    A benchmark regresses when its normalized time exceeds the baseline's
+    by more than ``tolerance`` (0.2 = 20%).  Only keys present in both
+    reports are compared, so a smoke run checks cleanly against a full
+    baseline.  Speedups never fail.
+    """
+    failures: List[str] = []
+    cur_cal = current["calibration_seconds"]
+    base_cal = baseline["calibration_seconds"]
+    if cur_cal <= 0 or base_cal <= 0:
+        raise ValueError("calibration_seconds must be positive")
+    for name, base_entry in sorted(baseline["benchmarks"].items()):
+        cur_entry = current["benchmarks"].get(name)
+        if cur_entry is None:
+            continue
+        base_norm = base_entry["seconds"] / base_cal
+        cur_norm = cur_entry["seconds"] / cur_cal
+        if cur_norm > base_norm * (1.0 + tolerance):
+            failures.append(
+                "%s: %.2fx slower than baseline "
+                "(%.3fs vs %.3fs calibration-normalized, tolerance %d%%)"
+                % (name, cur_norm / base_norm, cur_norm, base_norm,
+                   round(tolerance * 100))
+            )
+    return failures
+
+
+def format_report(report: Dict) -> str:
+    lines = [
+        "wall-clock report (mode=%s, calibration=%.4fs)"
+        % (report["mode"], report["calibration_seconds"])
+    ]
+    for name, entry in sorted(report["benchmarks"].items()):
+        rate = ""
+        if "rate" in entry:
+            rate = "  %10.1f %s" % (entry["rate"], entry.get("unit", ""))
+        lines.append("  %-24s %8.3fs%s" % (name, entry["seconds"], rate))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.wallclock",
+        description="Wall-clock benchmark harness and regression gate.",
+    )
+    parser.add_argument("--mode", choices=("smoke", "full"), default="smoke")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON path (default: repo root %s)"
+                        % BASELINE_NAME)
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the report to the baseline path")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed normalized slowdown (0.2 = 20%%)")
+    parser.add_argument("--output", default=None,
+                        help="also write the report JSON to this path")
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or default_baseline_path()
+    report = run_harness(mode=args.mode, quiet=False)
+    print(format_report(report))
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.write_baseline:
+        with open(baseline_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("baseline written: %s" % baseline_path)
+    if args.check:
+        if not os.path.exists(baseline_path):
+            print("no baseline at %s; nothing to check" % baseline_path)
+            return 0
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        failures = check_regression(report, baseline, tolerance=args.tolerance)
+        if failures:
+            print("wall-clock regression detected:")
+            for failure in failures:
+                print("  " + failure)
+            return 1
+        print("wall-clock check passed (tolerance %d%%)"
+              % round(args.tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = [
+    "BASELINE_NAME",
+    "calibrate",
+    "check_regression",
+    "default_baseline_path",
+    "format_report",
+    "run_harness",
+]

@@ -94,12 +94,16 @@ class DumpStreamWriter:
         self.tapea += 1
         header.count = len(segments)
         header.segment_map = [1 if seg is not None else 0 for seg in segments]
-        self._emit(header.pack())
+        # One buffer, one sink write per record: the sink (a tape drive) is
+        # a plain byte stream, and per-segment writes were the hottest call
+        # site in the dump path.
+        parts = [header.pack()]
         for segment in segments:
             if segment is not None:
                 if len(segment) != SEGMENT_SIZE:
                     raise FormatError("segment is not %d bytes" % SEGMENT_SIZE)
-                self._emit(segment)
+                parts.append(segment)
+        self._emit(b"".join(parts))
 
     @staticmethod
     def _payload_segments(payload: bytes) -> List[Optional[bytes]]:
@@ -145,10 +149,16 @@ class DumpStreamWriter:
     def feed_segments(self, segments: List[Optional[bytes]]) -> None:
         if self._pending_attrs is None:
             raise FormatError("no inode record open")
-        self._pending_segments.extend(segments)
-        while len(self._pending_segments) >= SEGMENTS_PER_HEADER:
-            self._flush_inode_batch(self._pending_segments[:SEGMENTS_PER_HEADER])
-            self._pending_segments = self._pending_segments[SEGMENTS_PER_HEADER:]
+        pending = self._pending_segments
+        pending.extend(segments)
+        # Flush with a cursor rather than re-slicing the remainder on every
+        # batch (quadratic on large files).
+        cursor = 0
+        while len(pending) - cursor >= SEGMENTS_PER_HEADER:
+            self._flush_inode_batch(pending[cursor : cursor + SEGMENTS_PER_HEADER])
+            cursor += SEGMENTS_PER_HEADER
+        if cursor:
+            del pending[:cursor]
 
     def _flush_inode_batch(self, batch: List[Optional[bytes]]) -> None:
         attrs = self._pending_attrs
@@ -220,19 +230,37 @@ class DumpStreamReader:
 
     # -- low level ----------------------------------------------------------
 
+    def _read_segments(self, segment_map) -> List[Optional[bytes]]:
+        """Read the data segments for one record.
+
+        Contiguous present segments are fetched with a single source read
+        and sliced, instead of one source call per kilobyte.
+        """
+        read = self._source.read
+        segments: List[Optional[bytes]] = []
+        total = len(segment_map)
+        index = 0
+        while index < total:
+            if not segment_map[index]:
+                segments.append(None)
+                index += 1
+                continue
+            run = index + 1
+            while run < total and segment_map[run]:
+                run += 1
+            blob = read((run - index) * SEGMENT_SIZE)
+            for offset in range(0, len(blob), SEGMENT_SIZE):
+                segments.append(blob[offset : offset + SEGMENT_SIZE])
+            index = run
+        return segments
+
     def _read_record(self) -> Tuple[RecordHeader, List[Optional[bytes]]]:
         if self._peeked is not None:
             record, self._peeked = self._peeked, None
             return record
         raw = self._source.read(HEADER_SIZE)
         header = RecordHeader.unpack(raw)
-        segments: List[Optional[bytes]] = []
-        for present in header.segment_map:
-            if present:
-                segments.append(self._source.read(SEGMENT_SIZE))
-            else:
-                segments.append(None)
-        return header, segments
+        return header, self._read_segments(header.segment_map)
 
     def _read_record_resync(self) -> Tuple[RecordHeader, List[Optional[bytes]]]:
         """Like ``_read_record`` but scans past corruption to the next
@@ -247,13 +275,7 @@ class DumpStreamReader:
             except FormatError:
                 self.resyncs += 1
                 continue
-            segments: List[Optional[bytes]] = []
-            for present in header.segment_map:
-                if present:
-                    segments.append(self._source.read(SEGMENT_SIZE))
-                else:
-                    segments.append(None)
-            return header, segments
+            return header, self._read_segments(header.segment_map)
 
     def _payload(self, header: RecordHeader, segments: List[Optional[bytes]]) -> bytes:
         return segments_to_data(segments, header.size)

@@ -35,6 +35,7 @@ from repro.perf.ops import (
     SleepOp,
     TapeReadOp,
     TapeWriteOp,
+    drain_engine,
 )
 from repro.sim.core import Simulation
 from repro.sim.resources import Resource, Store
@@ -42,14 +43,110 @@ from repro.units import mb_per_s
 
 _SENTINEL = object()
 
+# The one canonical drain helper (also re-exported by repro.backup.common).
+drain = drain_engine
 
-def drain(engine: Iterator):
-    """Run an engine for data effects only (alias of backup.drain_engine)."""
-    while True:
-        try:
-            next(engine)
-        except StopIteration as stop:
-            return getattr(stop, "value", None)
+
+def _op_is_wide(op: DiskReadOp) -> bool:
+    """True when every per-RAID-group piece of the read is stripe-wide.
+
+    The executor charges sub-stripe ("narrow") reads with a different
+    formula and a different resource amount, so only all-wide reads may be
+    coalesced without changing classification.
+    """
+    remaining = op.nblocks
+    block = op.start_block
+    while remaining > 0:
+        location = op.volume.locate(block)
+        group = op.volume.geometry.groups[location.group_index]
+        in_group = min(remaining, group.data_blocks - location.group_block)
+        if in_group < group.ndata_disks:
+            return False
+        block += in_group
+        remaining -= in_group
+    return True
+
+
+def _try_merge(a: PerfOp, b: PerfOp, is_restore: bool, no_inflight: bool,
+               tape_record_size: int) -> Optional[PerfOp]:
+    """The merged op if ``a`` followed by ``b`` is provably timing-equal
+    to the merge, else None.  Only producer-serial ops qualify: sink ops
+    flow through the bounded pipeline buffer, where merging would change
+    admission dynamics."""
+    if a.stage != b.stage:
+        return None
+    if type(a) is not type(b):
+        return None
+    if isinstance(a, CpuOp):
+        # In a dump, every CpuOp runs serially in the producer and nothing
+        # else touches the CPU resource, so holding it once for a+b equals
+        # holding it twice back to back.  In a restore, disk-side CPU work
+        # runs in the consumer and contends with the producer's — skip.
+        if is_restore or a.side != b.side:
+            return None
+        return CpuOp(a.seconds + b.seconds, stage=a.stage, side=a.side)
+    if isinstance(a, SleepOp):
+        # Sleeps hold no resource: 2 x t == t + t.
+        return SleepOp(a.seconds + b.seconds, stage=a.stage)
+    if isinstance(a, DiskReadOp):
+        # Serial (non-prefetch) reads in a dump run back to back in the
+        # producer.  Contiguous all-wide runs charge identical positioning
+        # and transfer whether executed as one request or two, and with no
+        # prefetch reads in flight nothing else can slip onto the group
+        # between them.  In a restore, disk reads are sink ops — skip.
+        if is_restore or a.prefetch or b.prefetch or not no_inflight:
+            return None
+        if a.volume is not b.volume:
+            return None
+        if a.start_block + a.nblocks != b.start_block:
+            return None
+        if not (_op_is_wide(a) and _op_is_wide(b)):
+            return None
+        return DiskReadOp(a.volume, a.start_block, a.nblocks + b.nblocks,
+                          stage=a.stage)
+    if isinstance(a, TapeReadOp):
+        # Tape reads (restore producer side) have no restart penalty and a
+        # purely additive time formula, provided the first op is a whole
+        # number of tape records so the per-record gap count is unchanged.
+        if not is_restore or a.drive is not b.drive:
+            return None
+        if tape_record_size <= 0 or a.nbytes % tape_record_size:
+            return None
+        return TapeReadOp(a.drive, a.nbytes + b.nbytes,
+                          a.media_changes + b.media_changes, stage=a.stage)
+    return None
+
+
+def coalesce_ops(ops: List[PerfOp], is_restore: bool = False,
+                 tape_record_size: int = 0) -> List[PerfOp]:
+    """Merge adjacent ops whose combined simulated timing is provably
+    identical to executing them separately.
+
+    Applied by :class:`TimedRun` to single-job runs only: with concurrent
+    jobs, another job could acquire a shared resource between two adjacent
+    ops, so back-to-back execution is no longer guaranteed.  Original op
+    objects are never mutated; merges build fresh ops.
+    """
+    out: List[PerfOp] = []
+    issued = 0   # prefetch reads seen so far
+    drained = 0  # prefetch reads provably completed (via ReadBarrier)
+    for op in ops:
+        if isinstance(op, DiskReadOp) and op.prefetch:
+            issued += 1
+            out.append(op)
+            continue
+        if isinstance(op, ReadBarrier):
+            drained = max(drained, min(op.count, issued))
+            out.append(op)
+            continue
+        if out:
+            merged = _try_merge(out[-1], op, is_restore,
+                                issued == drained, tape_record_size)
+            if merged is not None:
+                out[-1] = merged
+                continue
+        out.append(op)
+    return out
 
 
 class StageStats:
@@ -154,6 +251,9 @@ class TimedRun:
         self._tape_resources = {}
         self._jobs: List[_Job] = []
         self._buffer_bytes = self.profile.pipeline_buffer_blocks * 4096
+        # Merge adjacent timing-equivalent ops before replay (single-job
+        # runs only; see coalesce_ops).  Tests may disable it to compare.
+        self.coalesce = True
 
     # -- device registry -------------------------------------------------------
 
@@ -255,15 +355,9 @@ class TimedRun:
                 amount = 1 if narrow else resource.capacity
                 request = yield resource.acquire(amount)
                 try:
-                    position = model.positioning_time(location.group_block)
                     if narrow:
-                        service = position + (
-                            in_group * op.volume.block_size
-                            / model.per_disk_stream
-                        )
-                        model.last_end = location.group_block + in_group
-                        model.busy_seconds += service
-                        model.bytes_moved += in_group * op.volume.block_size
+                        service = model.narrow_service(location.group_block,
+                                                       in_group)
                     else:
                         service = model.service_time(location.group_block,
                                                      in_group, kind=kind)
@@ -348,6 +442,16 @@ class TimedRun:
         """Execute every job; returns results keyed by job name."""
         sim = self.sim
         waiters = []
+        if self.coalesce and len(self._jobs) == 1:
+            # With one job there is no cross-job contention, so adjacent
+            # producer-serial ops provably execute back to back and may be
+            # merged.  Concurrent runs skip the pass: another job could
+            # claim a shared resource between two adjacent ops.
+            job = self._jobs[0]
+            job.ops = coalesce_ops(
+                job.ops, job.is_restore,
+                self.profile.tape_model().record_size,
+            )
         for job in self._jobs:
             sink_keys = {job.sink_key(op) for op in job.ops if job.is_sink_op(op)}
             stores = {
@@ -376,4 +480,4 @@ class TimedRun:
         return results
 
 
-__all__ = ["JobResult", "StageStats", "TimedRun", "drain"]
+__all__ = ["JobResult", "StageStats", "TimedRun", "coalesce_ops", "drain"]

@@ -167,6 +167,21 @@ class Barrier(PerfOp):
         return "<Barrier %s>" % self.stage
 
 
+def drain_engine(engine):
+    """Run an engine generator for its data effects; return its result.
+
+    The canonical drain helper: ``repro.backup.common.drain_engine`` and
+    ``repro.perf.executor.drain`` are aliases of this function.  It lives
+    here (not in ``repro.backup``) because the executor must be importable
+    without triggering the backup package's engine imports.
+    """
+    while True:
+        try:
+            next(engine)
+        except StopIteration as stop:
+            return getattr(stop, "value", None)
+
+
 def scale_ops(ops, cpu_factor: float):
     """Multiply every CpuOp's cost (ablation helper)."""
     for op in ops:
@@ -180,6 +195,7 @@ __all__ = [
     "CpuOp",
     "DiskReadOp",
     "DiskWriteOp",
+    "drain_engine",
     "PerfOp",
     "PhaseBegin",
     "PhaseEnd",

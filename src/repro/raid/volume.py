@@ -100,43 +100,65 @@ class RaidVolume:
         if self.recorder is not None:
             self.recorder.on_write(volume_block, 1)
 
+    def _pieces(self, start_block: int, nblocks: int):
+        """Decompose a volume run into (group, group_block, count) pieces."""
+        if not 0 <= start_block <= self.nblocks - nblocks:
+            raise RaidError(
+                "run [%d, %d) out of range on %r"
+                % (start_block, start_block + nblocks, self.name)
+            )
+        block = start_block
+        remaining = nblocks
+        if not remaining:
+            return
+        for index, group in enumerate(self.groups):
+            base = self._group_base[index]
+            if block >= base + group.data_blocks:
+                continue
+            count = min(remaining, base + group.data_blocks - block)
+            yield group, block - base, count
+            block += count
+            remaining -= count
+            if not remaining:
+                return
+
     def read_run(self, start_block: int, nblocks: int) -> bytes:
         """Read ``nblocks`` contiguous volume blocks as one access.
 
         With a cache attached, a fully resident run costs no I/O; a run
         with any cold block is read (and recorded) whole, which is how a
-        real chained read behaves.
+        real chained read behaves.  The transfer is bulk: one output
+        buffer, filled per RAID group by per-disk column reads.
         """
         if nblocks <= 0:
             raise RaidError("zero-length run read")
+        bs = self.block_size
         cache = None if self.uncached_reads else self.cache
-        if cache is not None and all(
-            cache.peek(start_block + i) for i in range(nblocks)
-        ):
-            return b"".join(
-                cache.get(start_block + i) for i in range(nblocks)
-            )
-        parts = []
-        for i in range(nblocks):
-            loc = self.locate(start_block + i)
-            data = self.groups[loc.group_index].read_block(loc.group_block)
-            if cache is not None:
-                cache.put(start_block + i, data)
-            parts.append(data)
+        if cache is not None:
+            cached = cache.get_run(start_block, nblocks, bs)
+            if cached is not None:
+                return bytes(cached)
+        out = bytearray(nblocks * bs)
+        offset = 0
+        for group, group_block, count in self._pieces(start_block, nblocks):
+            group.read_run(group_block, count, out, offset)
+            offset += count * bs
+        if cache is not None:
+            cache.put_run(start_block, out, bs)
         if self.recorder is not None:
             self.recorder.on_read(start_block, nblocks)
-        return b"".join(parts)
+        return bytes(out)
 
     def write_run(self, start_block: int, data: bytes) -> None:
         if len(data) % self.block_size:
             raise RaidError("run write is not block aligned")
         nblocks = len(data) // self.block_size
-        for i in range(nblocks):
-            loc = self.locate(start_block + i)
-            chunk = data[i * self.block_size : (i + 1) * self.block_size]
-            self.groups[loc.group_index].write_block(loc.group_block, chunk)
-            if self.cache is not None:
-                self.cache.put(start_block + i, bytes(chunk))
+        offset = 0
+        for group, group_block, count in self._pieces(start_block, nblocks):
+            group.write_run(group_block, data, offset, count)
+            offset += count * self.block_size
+        if self.cache is not None:
+            self.cache.put_run(start_block, data, self.block_size)
         if self.recorder is not None:
             self.recorder.on_write(start_block, nblocks)
 

@@ -104,11 +104,15 @@ class Timeout(Event):
     def __init__(self, sim: "Simulation", delay: float, value: Any = None):
         if delay < 0:
             raise SimError("negative timeout delay %r" % (delay,))
-        super().__init__(sim)
-        self.delay = delay
-        self.triggered = True
-        self._ok = True
+        # Initialized flat (no Event.__init__) — a Timeout is born triggered
+        # and this constructor is the hottest allocation in the kernel.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self.triggered = True
+        self.processed = False
+        self.delay = delay
         sim._schedule(self, delay)
 
 
@@ -259,7 +263,14 @@ class Simulation:
         if when < self.now:
             raise SimError("time went backwards: %r < %r" % (when, self.now))
         self.now = when
-        event._run_callbacks()
+        # Inlined _run_callbacks with a no-callback fast path: an event
+        # nothing waits on just flips to processed.
+        event.processed = True
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            for callback in callbacks:
+                callback(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock passes ``until``."""

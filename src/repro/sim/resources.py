@@ -60,6 +60,14 @@ class Resource:
                 % (amount, self.name, self.capacity)
             )
         request = Request(self, amount)
+        if not self._queue and self.in_use + amount <= self.capacity:
+            # Uncontended fast path: grant immediately, with the same state
+            # mutations and the same succeed() scheduling the queued path
+            # would perform.
+            self.in_use += amount
+            self.utilization.record(self.sim.now, self.in_use)
+            request.succeed(request)
+            return request
         self._queue.append(request)
         self._grant()
         return request
@@ -121,6 +129,17 @@ class Store:
                 "item weight %r exceeds store capacity %r" % (weight, self.capacity)
             )
         event = Event(self.sim)
+        if not self._putters and self.level + weight <= self.capacity:
+            # Uncontended fast path: admit directly (the queued path would
+            # admit this putter first and then serve getters — identical
+            # succeed() order).
+            self.level += weight
+            self.total_put += weight
+            self._items.append((item, weight))
+            event.succeed()
+            if self._getters:
+                self._drain()
+            return event
         event._put_item = (item, weight)  # type: ignore[attr-defined]
         self._putters.append(event)
         self._drain()
@@ -128,6 +147,13 @@ class Store:
 
     def get(self) -> Event:
         event = Event(self.sim)
+        if not self._putters and self._items:
+            # Items present implies no queued getters (drain pairs them up),
+            # so this get is served first either way.
+            item, weight = self._items.popleft()
+            self.level -= weight
+            event.succeed(item)
+            return event
         self._getters.append(event)
         self._drain()
         return event

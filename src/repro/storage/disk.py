@@ -78,6 +78,60 @@ class VirtualDisk:
         else:
             self._blocks[block] = bytes(data)
 
+    def read_run(self, start_block: int, nblocks: int) -> bytearray:
+        """Read ``nblocks`` contiguous blocks into one buffer.
+
+        Raises before counting anything if any block in the range is bad,
+        so callers can fall back to per-block reads (with reconstruction)
+        and still observe the same ``reads`` accounting as the scalar
+        path.  Unwritten blocks stay zero in the output without a copy.
+        """
+        if nblocks <= 0:
+            raise StorageError("zero-length run read on %r" % self.name)
+        self._check(start_block)
+        self._check(start_block + nblocks - 1)
+        if self._bad:
+            for block in range(start_block, start_block + nblocks):
+                if block in self._bad:
+                    raise StorageError(
+                        "media error reading block %d of %r" % (block, self.name)
+                    )
+        self.reads += nblocks
+        bs = self.block_size
+        out = bytearray(nblocks * bs)
+        get = self._blocks.get
+        offset = 0
+        for block in range(start_block, start_block + nblocks):
+            data = get(block)
+            if data is not None:
+                out[offset : offset + bs] = data
+            offset += bs
+        return out
+
+    def write_run(self, start_block: int, data) -> None:
+        """Write contiguous blocks from one buffer (block-aligned)."""
+        view = memoryview(data)
+        bs = self.block_size
+        if len(view) % bs:
+            raise StorageError("run write is not block aligned")
+        nblocks = len(view) // bs
+        if nblocks == 0:
+            return
+        self._check(start_block)
+        self._check(start_block + nblocks - 1)
+        self.writes += nblocks
+        blocks = self._blocks
+        zero = self._zero
+        offset = 0
+        for block in range(start_block, start_block + nblocks):
+            self._bad.discard(block)
+            chunk = bytes(view[offset : offset + bs])
+            if chunk == zero:
+                blocks.pop(block, None)
+            else:
+                blocks[block] = chunk
+            offset += bs
+
     def is_allocated(self, block: int) -> bool:
         """True if the block has ever been written with non-zero data."""
         self._check(block)
@@ -181,6 +235,24 @@ class DiskModel:
         self.busy_seconds += total
         self.bytes_moved += nblocks * self.block_size
         return total
+
+    def narrow_service(self, start_block: int, nblocks: int) -> float:
+        """Charge and return the time for a *narrow* read; advances the head.
+
+        A read shorter than the group width keeps only ``nblocks`` spindles
+        busy, so it transfers at ``per_disk_stream`` — not the aggregate
+        ``stream_rate`` a wide request enjoys.  Positioning is judged (and
+        the head advanced) exactly as for a wide read.
+        """
+        if nblocks <= 0:
+            raise StorageError("zero-length disk request")
+        service = self.positioning_time(start_block) + (
+            nblocks * self.block_size / self.per_disk_stream
+        )
+        self.last_end = start_block + nblocks
+        self.busy_seconds += service
+        self.bytes_moved += nblocks * self.block_size
+        return service
 
     def _write_positioning(self, start_block: int) -> float:
         """Positioning charge for a write: free when continuing any

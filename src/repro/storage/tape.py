@@ -115,6 +115,12 @@ class TapeDrive:
         timing layer).
         """
         changes_before = self.media_changes
+        cartridge = self._ensure_loaded()
+        if len(chunk) <= cartridge.remaining:
+            # Fast path: the whole chunk fits on the loaded cartridge.
+            cartridge.append(chunk)
+            self.bytes_written += len(chunk)
+            return self.media_changes - changes_before
         view = memoryview(chunk)
         while len(view):
             cartridge = self._ensure_loaded()
@@ -142,6 +148,14 @@ class TapeDrive:
 
         Raises :class:`TapeError` if the stream ends early.
         """
+        if self.read_cartridge_index < len(self.stacker.cartridges):
+            cartridge = self.stacker.cartridges[self.read_cartridge_index]
+            start = self.read_offset
+            if cartridge.used - start >= nbytes:
+                # Fast path: the whole read lands on one cartridge.
+                self.read_offset = start + nbytes
+                self.bytes_read += nbytes
+                return bytes(cartridge.data[start : start + nbytes])
         out = bytearray()
         while len(out) < nbytes:
             if self.read_cartridge_index >= len(self.stacker.cartridges):

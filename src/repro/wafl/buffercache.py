@@ -56,6 +56,57 @@ class BlockCache:
             self._blocks.popitem(last=False)
             self.evictions += 1
 
+    # -- bulk (run) operations -------------------------------------------
+
+    def peek_run(self, start_vbn: int, nblocks: int) -> bool:
+        """Presence check for a whole run, without LRU movement or stats."""
+        blocks = self._blocks
+        for vbn in range(start_vbn, start_vbn + nblocks):
+            if vbn not in blocks:
+                return False
+        return True
+
+    def get_run(self, start_vbn: int, nblocks: int,
+                block_size: int) -> Optional[bytearray]:
+        """The whole run's contents, or ``None`` if any block is cold.
+
+        A hit counts (and refreshes LRU position for) every block, exactly
+        as ``nblocks`` individual :meth:`get` calls would; a cold run
+        counts nothing — the caller falls back to the device path and
+        :meth:`put_run`\\ s what it read.
+        """
+        blocks = self._blocks
+        if not self.peek_run(start_vbn, nblocks):
+            return None
+        out = bytearray(nblocks * block_size)
+        move = blocks.move_to_end
+        offset = 0
+        for vbn in range(start_vbn, start_vbn + nblocks):
+            out[offset : offset + block_size] = blocks[vbn]
+            move(vbn)
+            offset += block_size
+        self.hits += nblocks
+        return out
+
+    def put_run(self, start_vbn: int, data, block_size: int) -> None:
+        """Insert a run of blocks from one contiguous buffer.
+
+        Equivalent to per-block :meth:`put` calls over slices of ``data``
+        (same LRU order, same eviction accounting), without the caller
+        having to split the buffer itself.
+        """
+        blocks = self._blocks
+        view = memoryview(data)
+        offset = 0
+        for vbn in range(start_vbn, start_vbn + len(view) // block_size):
+            if vbn in blocks:
+                blocks.move_to_end(vbn)
+            blocks[vbn] = bytes(view[offset : offset + block_size])
+            offset += block_size
+        while len(blocks) > self.capacity:
+            blocks.popitem(last=False)
+            self.evictions += 1
+
     def invalidate(self, vbn: int) -> None:
         self._blocks.pop(vbn, None)
 

@@ -75,6 +75,18 @@ class Directory:
         return cls(list(iter_entries(data)))
 
     @classmethod
+    def from_entries(cls, entries: List[Tuple[str, int]]) -> "Directory":
+        """Build from already-validated entries, skipping per-entry checks.
+
+        Used by the file system's directory parse cache, where the entries
+        came out of :meth:`parse` (or a successful :meth:`pack`) earlier.
+        """
+        directory = cls.__new__(cls)
+        directory._order = [name for name, _ in entries]
+        directory._by_name = dict(entries)
+        return directory
+
+    @classmethod
     def new_empty(cls, self_ino: int, parent_ino: int) -> "Directory":
         return cls([(".", self_ino), ("..", parent_ino)])
 

@@ -114,6 +114,9 @@ class WaflFilesystem:
         self._clock = clock
         self._ctx = _ActiveContext(self)
         self._inodes: Dict[int, Inode] = {}
+        # Directory parse cache: ino -> (raw bytes, parsed entries).  Keyed
+        # to the exact on-disk bytes, so a hit never changes semantics.
+        self._dir_cache: Dict[int, Tuple[bytes, tuple]] = {}
         self._dirty_inodes: Set[int] = set()
         self._root_dirty = False
         self._fresh_blocks: Set[int] = set()
@@ -242,6 +245,7 @@ class WaflFilesystem:
         self._inodes.clear()
         self._dirty_inodes.clear()
         self._fresh_blocks.clear()
+        self._dir_cache.clear()
         self.fsinfo = None  # type: ignore[assignment]
         self.blockmap = None  # type: ignore[assignment]
 
@@ -454,19 +458,33 @@ class WaflFilesystem:
 
     def _read_tree_bytes(self, inode: Inode) -> bytes:
         tree = BlockTree(self._ctx, inode)
+        extents = tree.extents()
+        if (len(extents) == 1 and extents[0][0] == 0
+                and extents[0][2] * BLOCK_SIZE >= inode.size):
+            # One contiguous extent covering the file from block zero — the
+            # overwhelmingly common case for directories and small files.
+            return self.volume.read_run(extents[0][1], extents[0][2])[: inode.size]
         nblocks = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
-        parts = []
-        for extent_fbn, extent_vbn, extent_len in tree.extents():
-            parts.append((extent_fbn, self.volume.read_run(extent_vbn, extent_len)))
         out = bytearray(nblocks * BLOCK_SIZE)
-        for fbn, data in parts:
-            out[fbn * BLOCK_SIZE : fbn * BLOCK_SIZE + len(data)] = data
+        for extent_fbn, extent_vbn, extent_len in extents:
+            data = self.volume.read_run(extent_vbn, extent_len)
+            out[extent_fbn * BLOCK_SIZE : extent_fbn * BLOCK_SIZE + len(data)] = data
         return bytes(out[: inode.size])
 
     def _read_directory(self, inode: Inode) -> Directory:
         if not inode.is_dir:
             raise NotADirectoryError_("inode %d is not a directory" % inode.ino)
-        return Directory.parse(self._read_tree_bytes(inode))
+        # The raw bytes are always read through the volume (same recorder
+        # events, same buffer-cache traffic as before); the cache only
+        # skips re-*parsing* bytes we have parsed before.  A fresh
+        # Directory is built per call, so callers may mutate freely.
+        raw = self._read_tree_bytes(inode)
+        cached = self._dir_cache.get(inode.ino)
+        if cached is not None and cached[0] == raw:
+            return Directory.from_entries(cached[1])
+        directory = Directory.parse(raw)
+        self._dir_cache[inode.ino] = (raw, tuple(directory.entries()))
+        return directory
 
     def _write_directory(self, inode: Inode, directory: Directory) -> None:
         data = directory.pack()
@@ -479,6 +497,7 @@ class WaflFilesystem:
         inode.size = len(data)
         inode.mtime = self._now()
         self._ctx.inode_dirty(inode)
+        self._dir_cache[inode.ino] = (data, tuple(directory.entries()))
 
     # ------------------------------------------------------------------
     # Namespace operations
@@ -665,6 +684,7 @@ class WaflFilesystem:
         self._ctx.inode_dirty(moving)
 
     def _destroy_inode(self, inode: Inode) -> None:
+        self._dir_cache.pop(inode.ino, None)
         tree = BlockTree(self._ctx, inode)
         tree.free_all()
         if inode.acl_block:

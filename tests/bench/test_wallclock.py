@@ -1,0 +1,50 @@
+"""Wall-clock regression gate against the committed baseline.
+
+``BENCH_wallclock.json`` records calibration-normalized timings from the
+machine that produced it; the gate re-runs the smoke harness and fails if
+any shared benchmark got substantially slower.  The default tolerance is
+deliberately loose (interpreter and hardware noise dwarf small changes);
+CI tightens it via ``WALLCLOCK_TOLERANCE``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import wallclock
+
+
+def test_calibration_is_positive():
+    assert wallclock.calibrate(repeats=1) > 0
+
+
+def test_check_regression_flags_slowdown():
+    baseline = {
+        "calibration_seconds": 1.0,
+        "benchmarks": {"micro.x": {"seconds": 1.0}},
+    }
+    same = {"calibration_seconds": 1.0,
+            "benchmarks": {"micro.x": {"seconds": 1.1}}}
+    slow = {"calibration_seconds": 1.0,
+            "benchmarks": {"micro.x": {"seconds": 2.0}}}
+    # A twice-as-fast machine is not a regression even at 1.5x the seconds.
+    fast_machine = {"calibration_seconds": 2.0,
+                    "benchmarks": {"micro.x": {"seconds": 1.5}}}
+    assert wallclock.check_regression(same, baseline, tolerance=0.2) == []
+    assert len(wallclock.check_regression(slow, baseline, tolerance=0.2)) == 1
+    assert wallclock.check_regression(fast_machine, baseline,
+                                      tolerance=0.2) == []
+
+
+def test_smoke_harness_vs_committed_baseline():
+    baseline_path = wallclock.default_baseline_path()
+    if not os.path.exists(baseline_path):
+        pytest.skip("no committed %s baseline" % wallclock.BASELINE_NAME)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    current = wallclock.run_harness(mode="smoke")
+    tolerance = float(os.environ.get("WALLCLOCK_TOLERANCE", "1.0"))
+    failures = wallclock.check_regression(current, baseline,
+                                          tolerance=tolerance)
+    assert not failures, "\n".join(failures)

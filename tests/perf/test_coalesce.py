@@ -1,0 +1,206 @@
+"""Op coalescing: merged streams must time *exactly* like the originals.
+
+The executor merges adjacent timing-equivalent ops before replay
+(single-job runs only).  These tests pin the safety rules of
+``coalesce_ops`` and — the golden property — that a coalesced replay
+produces bit-identical elapsed/CPU/byte accounting to an uncoalesced one.
+"""
+
+import pytest
+
+from repro.perf import TimedRun
+from repro.perf.executor import coalesce_ops
+from repro.perf.ops import (
+    CpuOp,
+    DiskReadOp,
+    DiskWriteOp,
+    PhaseBegin,
+    PhaseEnd,
+    ReadBarrier,
+    SleepOp,
+    TapeReadOp,
+    TapeWriteOp,
+)
+
+from tests.conftest import make_drive, make_volume
+
+RECORD = 60 * 1024  # profile tape record size
+
+
+def mixed_dump_ops(volume, drive):
+    """A dump-shaped stream with every mergeable and unmergeable case."""
+    ops = [PhaseBegin("data")]
+    block = 0
+    for _ in range(10):
+        # Two contiguous wide reads (merge), one gap (no merge).
+        ops.append(DiskReadOp(volume, block, 16, stage="data"))
+        ops.append(DiskReadOp(volume, block + 16, 16, stage="data"))
+        ops.append(CpuOp(0.004, stage="data", side="disk"))
+        ops.append(CpuOp(0.002, stage="data", side="disk"))
+        ops.append(TapeWriteOp(drive, 32 * 4096, 0, stage="data"))
+        block += 64
+    # Prefetch section: prefetched reads and the barrier never merge,
+    # and they fence serial-read merging while in flight.
+    for index in range(6):
+        ops.append(DiskReadOp(volume, 8000 + index * 16, 16, stage="data",
+                              prefetch=True))
+    ops.append(ReadBarrier(6, stage="data"))
+    ops.append(DiskReadOp(volume, 9000, 16, stage="data"))
+    ops.append(DiskReadOp(volume, 9016, 16, stage="data"))
+    ops.append(SleepOp(0.5, stage="data"))
+    ops.append(SleepOp(0.25, stage="data"))
+    ops.append(PhaseEnd("data"))
+    return ops
+
+
+def mixed_restore_ops(volume, drive):
+    """A restore-shaped stream: tape reads merge, disk sinks never do."""
+    drive.write(b"x" * (40 * RECORD))
+    drive.rewind()
+    ops = [PhaseBegin("fill")]
+    for index in range(10):
+        ops.append(TapeReadOp(drive, 2 * RECORD, 0, stage="fill"))
+        ops.append(TapeReadOp(drive, RECORD, 0, stage="fill"))
+        ops.append(DiskWriteOp(volume, index * 48, 48, stage="fill"))
+        ops.append(CpuOp(0.003, stage="fill", side="disk"))
+    ops.append(PhaseEnd("fill"))
+    return ops
+
+
+def replay(ops, coalesce):
+    run = TimedRun()
+    run.coalesce = coalesce
+    run.add_ops("job", list(ops))
+    return run.run()["job"]
+
+
+# Merging sums durations once (a+b) where the unmerged replay accumulates
+# them separately ((now+a)+b): mathematically equal, but float addition is
+# not associative, so clocks may differ by an ulp.  1e-12 relative is far
+# below anything the tables print and far above accumulated ulp noise.
+EXACT = dict(rel=1e-12, abs=1e-15)
+
+
+def assert_identical_accounting(baseline, coalesced):
+    assert coalesced.elapsed == pytest.approx(baseline.elapsed, **EXACT)
+    assert coalesced.cpu_seconds == pytest.approx(baseline.cpu_seconds, **EXACT)
+    assert coalesced.disk_bytes == baseline.disk_bytes
+    assert coalesced.tape_bytes == baseline.tape_bytes
+    assert set(coalesced.stages) == set(baseline.stages)
+    for name, stage in baseline.stages.items():
+        other = coalesced.stages[name]
+        assert other.elapsed == pytest.approx(stage.elapsed, **EXACT)
+        assert other.cpu_seconds == pytest.approx(stage.cpu_seconds, **EXACT)
+        assert other.disk_bytes == stage.disk_bytes
+        assert other.tape_bytes == stage.tape_bytes
+
+
+def test_dump_coalescing_is_timing_identical():
+    volume = make_volume(ngroups=2, ndata=4, blocks_per_disk=5000)
+    drive = make_drive()
+    ops = mixed_dump_ops(volume, drive)
+    baseline = replay(ops, coalesce=False)
+    coalesced = replay(ops, coalesce=True)
+    assert_identical_accounting(baseline, coalesced)
+    merged = coalesce_ops(ops)
+    assert len(merged) < len(ops)
+
+
+def test_restore_coalescing_is_timing_identical():
+    volume = make_volume(ngroups=2, ndata=4, blocks_per_disk=5000)
+    ops = mixed_restore_ops(volume, make_drive("base"))
+    baseline = replay(ops, coalesce=False)
+    # Fresh drive with identical content: replay order differs, and tape
+    # position is part of the op stream's meaning.
+    ops2 = mixed_restore_ops(make_volume(ngroups=2, ndata=4,
+                                         blocks_per_disk=5000),
+                             make_drive("coal"))
+    coalesced = replay(ops2, coalesce=True)
+    assert_identical_accounting(baseline, coalesced)
+    merged = coalesce_ops(ops, is_restore=True, tape_record_size=RECORD)
+    assert len(merged) < len(ops)
+
+
+# -- unit rules --------------------------------------------------------------
+
+
+def test_contiguous_wide_reads_merge():
+    volume = make_volume()
+    ops = [DiskReadOp(volume, 0, 8, stage="x"),
+           DiskReadOp(volume, 8, 8, stage="x")]
+    merged = coalesce_ops(ops)
+    assert len(merged) == 1
+    assert merged[0].start_block == 0 and merged[0].nblocks == 16
+    # Originals are never mutated.
+    assert ops[0].nblocks == 8
+
+
+def test_noncontiguous_reads_do_not_merge():
+    volume = make_volume()
+    ops = [DiskReadOp(volume, 0, 8, stage="x"),
+           DiskReadOp(volume, 9, 8, stage="x")]
+    assert len(coalesce_ops(ops)) == 2
+
+
+def test_narrow_reads_do_not_merge():
+    volume = make_volume(ngroups=1, ndata=8, blocks_per_disk=2500)
+    # 4 blocks < 8 data disks: narrow, charged differently — must not merge.
+    ops = [DiskReadOp(volume, 0, 4, stage="x"),
+           DiskReadOp(volume, 4, 4, stage="x")]
+    assert len(coalesce_ops(ops)) == 2
+
+
+def test_inflight_prefetch_fences_read_merging():
+    volume = make_volume()
+    ops = [
+        DiskReadOp(volume, 100, 8, stage="x", prefetch=True),
+        DiskReadOp(volume, 0, 8, stage="x"),
+        DiskReadOp(volume, 8, 8, stage="x"),
+    ]
+    # One prefetch still in flight: the serial reads must not merge.
+    assert len(coalesce_ops(ops)) == 3
+    # After a barrier drains it, they may.
+    fenced = [ops[0], ReadBarrier(1, stage="x"), ops[1], ops[2]]
+    assert len(coalesce_ops(fenced)) == 3  # prefetch + barrier + merged read
+
+
+def test_cpu_merges_in_dump_but_not_restore():
+    ops = [CpuOp(0.1, stage="x", side="disk"), CpuOp(0.2, stage="x", side="disk")]
+    merged = coalesce_ops(ops)
+    assert len(merged) == 1 and merged[0].seconds == pytest.approx(0.3)
+    assert len(coalesce_ops(ops, is_restore=True)) == 2
+
+
+def test_tape_reads_merge_only_on_record_boundary():
+    drive = make_drive()
+    aligned = [TapeReadOp(drive, 2 * RECORD, 0, stage="x"),
+               TapeReadOp(drive, RECORD, 0, stage="x")]
+    merged = coalesce_ops(aligned, is_restore=True, tape_record_size=RECORD)
+    assert len(merged) == 1 and merged[0].nbytes == 3 * RECORD
+    ragged = [TapeReadOp(drive, RECORD + 1, 0, stage="x"),
+              TapeReadOp(drive, RECORD, 0, stage="x")]
+    assert len(coalesce_ops(ragged, is_restore=True,
+                            tape_record_size=RECORD)) == 2
+
+
+def test_sink_ops_never_merge():
+    volume = make_volume()
+    drive = make_drive()
+    dump_sinks = [TapeWriteOp(drive, 1024, 0, stage="x"),
+                  TapeWriteOp(drive, 1024, 0, stage="x")]
+    assert len(coalesce_ops(dump_sinks)) == 2
+    restore_sinks = [DiskWriteOp(volume, 0, 8, stage="x"),
+                     DiskWriteOp(volume, 8, 8, stage="x")]
+    assert len(coalesce_ops(restore_sinks, is_restore=True,
+                            tape_record_size=RECORD)) == 2
+
+
+def test_multi_job_runs_skip_coalescing():
+    volume = make_volume()
+    run = TimedRun()
+    ops = [DiskReadOp(volume, 0, 8, stage="x"),
+           DiskReadOp(volume, 8, 8, stage="x")]
+    run.add_ops("a", list(ops))
+    run.add_ops("b", [CpuOp(0.1, stage="y")])
+    run.run()
+    assert len(run._jobs[0].ops) == 2  # untouched: another job could interleave

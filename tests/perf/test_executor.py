@@ -207,3 +207,59 @@ def test_narrow_reads_overlap_within_group():
     solo_end = solo.run()["a"].end
     # Two narrow-read jobs nearly overlap (10 spindles available).
     assert end < solo_end * 1.5
+
+
+def test_read_barrier_count_exceeds_issued_prefetches():
+    volume = make_volume()
+    run = TimedRun()
+    ops = [
+        DiskReadOp(volume, 0, 8, stage="x", prefetch=True),
+        DiskReadOp(volume, 8, 8, stage="x", prefetch=True),
+        # Engine over-counts: the barrier waits for what is in flight and
+        # must not deadlock waiting for reads that were never issued.
+        ReadBarrier(5, stage="x"),
+        CpuOp(0.001, stage="x"),
+    ]
+    run.add_ops("job", ops)
+    result = run.run()["job"]
+    assert result.disk_bytes == 16 * 4096
+    assert result.elapsed > 0
+
+
+def test_prefetch_window_of_one_serializes():
+    volume = make_volume(ngroups=3, ndata=10, blocks_per_disk=4000)
+    ops = []
+    for index in range(30):
+        block = (index % 3) * 10000 + (index * 517) % 9000
+        ops.append(DiskReadOp(volume, block, 8, stage="x", prefetch=True))
+    ops.append(ReadBarrier(len(ops), stage="x"))
+
+    narrow = TimedRun(HardwareProfile(dump_readahead=1))
+    narrow.add_ops("job", list(ops))
+    narrow_elapsed = narrow.run()["job"].elapsed
+
+    # dump_readahead=0 clamps to a window of 1: identical schedule.
+    clamped = TimedRun(HardwareProfile(dump_readahead=0))
+    clamped.add_ops("job", list(ops))
+    assert clamped.run()["job"].elapsed == narrow_elapsed
+
+    wide = TimedRun(HardwareProfile(dump_readahead=8))
+    wide.add_ops("job", list(ops))
+    assert wide.run()["job"].elapsed < narrow_elapsed
+
+
+def test_sink_op_larger_than_pipeline_buffer():
+    volume = make_volume()
+    drive = make_drive()
+    run = TimedRun()
+    big = run._buffer_bytes * 2  # twice the whole pipeline buffer
+    ops = [
+        DiskReadOp(volume, 0, 16, stage="x"),
+        TapeWriteOp(drive, big, 0, stage="x"),
+        TapeWriteOp(drive, 1024, 0, stage="x"),
+    ]
+    run.add_ops("job", ops)
+    result = run.run()["job"]
+    # The oversized op occupies the buffer exclusively but still flows.
+    assert result.tape_bytes == big + 1024
+    assert result.elapsed >= big / run.profile.tape_rate
