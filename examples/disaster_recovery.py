@@ -21,10 +21,10 @@ This example:
 Run:  python examples/disaster_recovery.py
 """
 
-from repro.backup import ImageDump, ImageRestore, drain_engine, verify_trees
+from repro.backup import ImageDump, ImageRestore, verify_trees
 from repro.bench.configs import EliotConfig, build_home_env
 from repro.perf import TimedRun
-from repro.units import GB, HOUR, MB, fmt_bytes, fmt_duration
+from repro.units import MB, fmt_bytes, fmt_duration
 from repro.wafl.filesystem import WaflFilesystem
 from repro.workload import MutationConfig, apply_mutations
 

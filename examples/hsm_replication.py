@@ -29,7 +29,7 @@ from repro.backup import (
 from repro.bench.configs import EliotConfig, build_home_env
 from repro.raid.layout import make_geometry
 from repro.raid.volume import RaidVolume
-from repro.units import MB, fmt_bytes
+from repro.units import fmt_bytes
 from repro.wafl.filesystem import WaflFilesystem
 from repro.workload import MutationConfig, apply_mutations
 

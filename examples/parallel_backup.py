@@ -14,17 +14,13 @@ the throughput curve for both strategies — the paper's Section 5.2:
 Run:  python examples/parallel_backup.py
 """
 
-from repro.backup.jobs import (
-    aggregate_throughput,
-    parallel_image_dump,
-    parallel_logical_dump,
-)
+from repro.backup.jobs import parallel_image_dump, parallel_logical_dump
 from repro.backup.logical.dump import STAGE_FILES
 from repro.backup.logical.dumpdates import DumpDates
 from repro.backup.physical.dump import STAGE_BLOCKS
 from repro.bench.configs import EliotConfig, build_home_env
 from repro.perf import TimedRun
-from repro.units import GB, HOUR, MB
+from repro.units import MB
 
 SCALE = 2000
 

@@ -138,6 +138,38 @@ def parallel_image_restore(
     return results
 
 
+def build_dump_engine(
+    fs,
+    drive,
+    strategy: str,
+    level: int = 0,
+    subtree: str = "/",
+    dumpdates: Optional[DumpDates] = None,
+    snapshot_name: Optional[str] = None,
+    base_snapshot: Optional[str] = None,
+    costs: Optional[CostModel] = None,
+):
+    """One dump engine for either strategy — the campaign driver's unit.
+
+    ``strategy`` is ``"logical"`` (BSD-style dump at ``level`` with base
+    selection through ``dumpdates``) or ``"image"`` (block stream of
+    ``snapshot_name``, incremental against ``base_snapshot`` when
+    given).  The returned generator plugs straight into
+    :meth:`~repro.perf.executor.TimedRun.add_job`.
+    """
+    if strategy == "logical":
+        return LogicalDump(
+            fs, drive, level=level, subtree=subtree, dumpdates=dumpdates,
+            costs=costs, snapshot_name=snapshot_name,
+        ).run()
+    if strategy == "image":
+        return ImageDump(
+            fs, drive, snapshot_name=snapshot_name,
+            base_snapshot=base_snapshot, costs=costs,
+        ).run()
+    raise BackupError("unknown dump strategy %r" % (strategy,))
+
+
 def concurrent_volume_dumps(
     run: TimedRun,
     jobs: List[Tuple[str, object]],
@@ -163,6 +195,7 @@ def aggregate_throughput(results: Dict[str, JobResult]) -> Tuple[float, float]:
 
 __all__ = [
     "aggregate_throughput",
+    "build_dump_engine",
     "concurrent_volume_dumps",
     "parallel_image_dump",
     "parallel_image_restore",

@@ -22,7 +22,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import BackupError
 from repro.backup.common import MAX_RUN_BLOCKS, BackupResult
 from repro.backup.logical.dumpdates import DumpDates
 from repro.dumpfmt.records import FLAG_HAS_ACL, FLAG_SUBTREE_ROOT, RecordHeader, TapeLabel
@@ -40,7 +39,6 @@ from repro.perf.ops import (
 from repro.perf.costs import CostModel
 from repro.wafl.consts import BLOCK_SIZE
 from repro.wafl.directory import Directory
-from repro.wafl.inode import FileType
 
 # Stage names match the paper's Table 3 rows.
 STAGE_SNAP_CREATE = "Creating snapshot"

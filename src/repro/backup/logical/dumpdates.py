@@ -28,9 +28,26 @@ class DumpDates:
             raise IncrementalError("dump level %d out of range" % level)
 
     def record(self, fsid: str, subtree: str, level: int, date: int) -> None:
-        """Record a successful dump (dump -u behaviour)."""
+        """Record a successful dump (dump -u behaviour).
+
+        Supersede rules (all date comparisons strict, so equal-date
+        records — ties in the same clock tick — survive and replay
+        deterministically in any order):
+
+        * a fresh level-L record deletes deeper records with *older*
+          dates (they can never be a base again);
+        * an incoming record already superseded — some strictly lower
+          level has a strictly newer date — is dropped rather than
+          stored dead, since ``base_for`` could never select it;
+        * re-recording a level keeps the newer of the two dates.
+        """
         self._check_level(level)
         levels = self._records.setdefault((fsid, subtree), {})
+        for lower, lower_date in levels.items():
+            if lower < level and lower_date > date:
+                return
+        if levels.get(level, date) > date:
+            return
         levels[level] = date
         # A fresh level-L dump supersedes older records at deeper levels.
         for deeper in list(levels):

@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import BackupError, FormatError, NotFoundError
+from repro.errors import FormatError, NotFoundError
 from repro.backup.common import BackupResult, RecorderScope
 from repro.dumpfmt.spec import SEGMENT_SIZE
 from repro.dumpfmt.stream import DumpStreamReader, InodeEntry

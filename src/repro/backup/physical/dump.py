@@ -15,12 +15,12 @@ drives in parallel.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.errors import BackupError, SnapshotError
-from repro.backup.common import MAX_RUN_BLOCKS, BackupResult, chunked_cpu
+from repro.backup.common import MAX_RUN_BLOCKS, BackupResult
 from repro.backup.physical.image import ImageHeader, pack_chunk_header, pack_trailer
 from repro.backup.physical.incremental import (
     coalesce_block_array,
@@ -29,7 +29,7 @@ from repro.backup.physical.incremental import (
 )
 from repro.perf.costs import CostModel
 from repro.perf.ops import CpuOp, DiskReadOp, PhaseBegin, PhaseEnd, SleepOp, TapeWriteOp
-from repro.wafl.consts import ACTIVE_PLANE, FSINFO_BLOCKS, RESERVED_BLOCKS
+from repro.wafl.consts import ACTIVE_PLANE
 from repro.wafl.fsinfo import FsInfo
 
 STAGE_SNAP_CREATE = "Creating snapshot"

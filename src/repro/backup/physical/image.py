@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.errors import FormatError, GeometryError
 from repro.raid.layout import GroupGeometry, VolumeGeometry

@@ -15,9 +15,9 @@ intact when the image was taken with ``include_snapshots``).
 from __future__ import annotations
 
 import zlib
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
-from repro.errors import FormatError, GeometryError, IncrementalError
+from repro.errors import FormatError, IncrementalError
 from repro.backup.common import BackupResult
 from repro.backup.physical.image import (
     CHUNK_HEADER_SIZE,

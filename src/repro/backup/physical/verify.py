@@ -12,7 +12,6 @@ from __future__ import annotations
 import zlib
 from typing import List
 
-from repro.errors import FormatError
 from repro.backup.physical.image import (
     CHUNK_HEADER_SIZE,
     ImageHeader,

@@ -27,7 +27,7 @@ from repro.backup.physical.dump import STAGE_BLOCKS, ImageDump
 from repro.bench.configs import EliotConfig, build_home_env
 from repro.bench.report import Table
 from repro.nvram.log import NvramLog
-from repro.perf.costs import CostModel, HardwareProfile
+from repro.perf.costs import HardwareProfile
 from repro.perf.executor import TimedRun
 from repro.wafl.filesystem import WaflFilesystem
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 from repro.raid.layout import geometry_for_capacity
 from repro.raid.volume import RaidVolume
 from repro.storage.tape import TapeDrive, TapeStacker
-from repro.units import GB, MB
+from repro.units import GB
 from repro.wafl.filesystem import WaflFilesystem
 from repro.workload.aging import AgingConfig, age_filesystem, fragmentation_report
 from repro.workload.generator import WorkloadGenerator

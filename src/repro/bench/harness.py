@@ -13,7 +13,7 @@ snapshot create/delete stages do not).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.backup.jobs import (

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.units import HOUR, MINUTE, fmt_duration
+from repro.units import fmt_duration
 
 
 class Row:

@@ -14,7 +14,6 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.bench import paper
 from repro.bench.ablations import (
     ablate_cache_size,
     ablate_cpu_speed,

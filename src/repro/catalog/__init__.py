@@ -1,0 +1,33 @@
+"""The backup catalog: persistent record of what was backed up where.
+
+Section 4 of the paper places single dumps inside a larger regime —
+level 0-9 schedules, tape sets, and restores that replay a chain of
+media.  This package is that regime's bookkeeping: :class:`BackupSet`
+records (one per completed dump, linked to their incremental base),
+the cartridge inventory, and :meth:`BackupCatalog.chain_for`, which
+answers the operator's question: *which tapes restore this volume to
+that day?*
+"""
+
+from repro.catalog.records import (
+    BackupSet,
+    CartridgeRecord,
+    RestorePlan,
+    STATUS_OBSOLETE,
+    STATUS_OK,
+    STRATEGY_IMAGE,
+    STRATEGY_LOGICAL,
+)
+from repro.catalog.store import BackupCatalog, CATALOG_VERSION
+
+__all__ = [
+    "BackupCatalog",
+    "BackupSet",
+    "CATALOG_VERSION",
+    "CartridgeRecord",
+    "RestorePlan",
+    "STATUS_OBSOLETE",
+    "STATUS_OK",
+    "STRATEGY_IMAGE",
+    "STRATEGY_LOGICAL",
+]

@@ -1,0 +1,212 @@
+"""Catalog record types: backup sets, media inventory, restore plans.
+
+A :class:`BackupSet` is the durable fact that one dump completed: which
+strategy at which level covered which (file system, subtree), which
+snapshot it was cut from, when it ran (both in campaign days and in the
+file system's own clock domain), how much data it moved, and — crucially
+for the operator — exactly which tape cartridges it landed on.  Sets link
+to their incremental base by id, so a restore chain is a walk over base
+links, never a heuristic.
+
+A :class:`CartridgeRecord` is one tape in the media inventory: its label,
+capacity, how much of it is written, and whether it is scratch (blank,
+available) or allocated to a set.  A :class:`RestorePlan` is the output
+of chain planning: the minimal ordered list of sets plus the cartridges
+to load, in mount order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CatalogError
+
+STRATEGY_LOGICAL = "logical"
+STRATEGY_IMAGE = "image"
+STRATEGIES = (STRATEGY_LOGICAL, STRATEGY_IMAGE)
+
+STATUS_OK = "ok"
+STATUS_OBSOLETE = "obsolete"
+
+MEDIA_SCRATCH = "scratch"
+MEDIA_ALLOCATED = "allocated"
+
+
+class BackupSet:
+    """One completed dump, as the catalog remembers it."""
+
+    def __init__(
+        self,
+        set_id: str,
+        fsid: str,
+        subtree: str,
+        strategy: str,
+        level: int,
+        day: int,
+        date: int,
+        base_set_id: Optional[str] = None,
+        snapshot: Optional[str] = None,
+        start_time: float = 0.0,
+        end_time: float = 0.0,
+        bytes_to_tape: int = 0,
+        files: int = 0,
+        blocks: int = 0,
+        cartridges: Optional[List[str]] = None,
+        status: str = STATUS_OK,
+    ):
+        if strategy not in STRATEGIES:
+            raise CatalogError("unknown backup strategy %r" % (strategy,))
+        self.set_id = set_id
+        self.fsid = fsid
+        self.subtree = subtree
+        self.strategy = strategy
+        self.level = level
+        self.day = day
+        self.date = date
+        self.base_set_id = base_set_id
+        self.snapshot = snapshot
+        self.start_time = start_time
+        self.end_time = end_time
+        self.bytes_to_tape = bytes_to_tape
+        self.files = files
+        self.blocks = blocks
+        self.cartridges: List[str] = list(cartridges or [])
+        self.status = status
+
+    @property
+    def is_full(self) -> bool:
+        return self.base_set_id is None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict:
+        return {
+            "set_id": self.set_id,
+            "fsid": self.fsid,
+            "subtree": self.subtree,
+            "strategy": self.strategy,
+            "level": self.level,
+            "day": self.day,
+            "date": self.date,
+            "base_set_id": self.base_set_id,
+            "snapshot": self.snapshot,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "bytes_to_tape": self.bytes_to_tape,
+            "files": self.files,
+            "blocks": self.blocks,
+            "cartridges": list(self.cartridges),
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "BackupSet":
+        try:
+            return cls(**{key: raw[key] for key in (
+                "set_id", "fsid", "subtree", "strategy", "level", "day",
+                "date", "base_set_id", "snapshot", "start_time", "end_time",
+                "bytes_to_tape", "files", "blocks", "cartridges", "status",
+            )})
+        except KeyError as missing:
+            raise CatalogError("backup set record missing field %s" % missing)
+
+    def __repr__(self) -> str:
+        return "<BackupSet %s %s L%d %s:%s day=%d %s>" % (
+            self.set_id, self.strategy, self.level, self.fsid,
+            self.subtree, self.day, self.status,
+        )
+
+
+class CartridgeRecord:
+    """One tape cartridge in the media inventory."""
+
+    def __init__(self, label: str, capacity: int, used: int = 0,
+                 status: str = MEDIA_SCRATCH, set_id: Optional[str] = None):
+        self.label = label
+        self.capacity = capacity
+        self.used = used
+        self.status = status
+        self.set_id = set_id
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self.used
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "capacity": self.capacity,
+            "used": self.used,
+            "status": self.status,
+            "set_id": self.set_id,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "CartridgeRecord":
+        try:
+            return cls(raw["label"], raw["capacity"], raw["used"],
+                       raw["status"], raw["set_id"])
+        except KeyError as missing:
+            raise CatalogError("cartridge record missing field %s" % missing)
+
+    def __repr__(self) -> str:
+        return "<Cartridge %s %d/%d %s>" % (
+            self.label, self.used, self.capacity, self.status,
+        )
+
+
+class RestorePlan:
+    """The minimal chain restoring (fsid, subtree) to a target day.
+
+    ``sets`` is ordered base-first: the level-0 (full) set, then each
+    incremental in application order.  ``cartridges`` is the exact media
+    load list, in mount order, with duplicates removed.
+    """
+
+    def __init__(self, sets: List[BackupSet]):
+        if not sets:
+            raise CatalogError("empty restore plan")
+        self.sets = sets
+
+    @property
+    def strategy(self) -> str:
+        return self.sets[0].strategy
+
+    @property
+    def target(self) -> BackupSet:
+        return self.sets[-1]
+
+    @property
+    def cartridges(self) -> List[str]:
+        labels: List[str] = []
+        seen = set()
+        for backup_set in self.sets:
+            for label in backup_set.cartridges:
+                if label not in seen:
+                    seen.add(label)
+                    labels.append(label)
+        return labels
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def __repr__(self) -> str:
+        return "<RestorePlan %s %s>" % (
+            self.strategy, [s.set_id for s in self.sets],
+        )
+
+
+__all__ = [
+    "BackupSet",
+    "CartridgeRecord",
+    "MEDIA_ALLOCATED",
+    "MEDIA_SCRATCH",
+    "RestorePlan",
+    "STATUS_OBSOLETE",
+    "STATUS_OK",
+    "STRATEGIES",
+    "STRATEGY_IMAGE",
+    "STRATEGY_LOGICAL",
+]

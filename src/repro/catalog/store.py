@@ -1,0 +1,368 @@
+"""The persistent backup catalog.
+
+The catalog is the management plane's source of truth: every completed
+backup set, the tape media inventory, per-volume retention policies, and
+the dumpdates database (which it subsumes — the in-memory
+:class:`~repro.backup.logical.dumpdates.DumpDates` is rebuilt from the
+set records on load, so incremental base selection survives process
+restarts for free).
+
+Persistence is a single versioned JSON document written crash-safely:
+the new image goes to ``<path>.tmp`` and is renamed over the old one, so
+a crash mid-save leaves the previous catalog intact.  An in-memory
+catalog (``path=None``) never touches the disk; tests and short
+experiments use it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import CatalogError
+from repro.backup.logical.dumpdates import DumpDates
+from repro.catalog.records import (
+    STATUS_OBSOLETE,
+    STRATEGY_LOGICAL,
+    BackupSet,
+    CartridgeRecord,
+    RestorePlan,
+)
+
+CATALOG_VERSION = 1
+
+
+def _policy_key(fsid: str, subtree: str) -> str:
+    return "%s|%s" % (fsid, subtree)
+
+
+class BackupCatalog:
+    """Backup sets, media inventory, policies, and chain planning."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.sets: Dict[str, BackupSet] = {}
+        self.media: Dict[str, CartridgeRecord] = {}
+        self.policies: Dict[str, str] = {}
+        self.next_set = 1
+        self.next_cartridge = 1
+        self.dumpdates = DumpDates()
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self) -> None:
+        """Write-temp-then-rename; a no-op for in-memory catalogs."""
+        if not self.path:
+            return
+        document = {
+            "version": CATALOG_VERSION,
+            "next_set": self.next_set,
+            "next_cartridge": self.next_cartridge,
+            "sets": [s.to_dict() for s in self.sets.values()],
+            "media": [c.to_dict() for c in self.media.values()],
+            "policies": dict(self.policies),
+        }
+        temp = self.path + ".tmp"
+        with open(temp, "w") as handle:
+            json.dump(document, handle, indent=1)
+        os.replace(temp, self.path)
+
+    @classmethod
+    def load(cls, path: str) -> "BackupCatalog":
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except OSError as error:
+            raise CatalogError("cannot read catalog %s: %s" % (path, error))
+        except ValueError:
+            raise CatalogError("catalog %s is not valid JSON" % path)
+        if not isinstance(document, dict) or "version" not in document:
+            raise CatalogError("catalog %s has no version field" % path)
+        if document["version"] != CATALOG_VERSION:
+            raise CatalogError(
+                "catalog %s is version %r; this build reads version %d"
+                % (path, document["version"], CATALOG_VERSION)
+            )
+        catalog = cls(path)
+        catalog.next_set = document.get("next_set", 1)
+        catalog.next_cartridge = document.get("next_cartridge", 1)
+        for raw in document.get("sets", []):
+            backup_set = BackupSet.from_dict(raw)
+            catalog.sets[backup_set.set_id] = backup_set
+        for raw in document.get("media", []):
+            cartridge = CartridgeRecord.from_dict(raw)
+            catalog.media[cartridge.label] = cartridge
+        catalog.policies = dict(document.get("policies", {}))
+        catalog._rebuild_dumpdates()
+        return catalog
+
+    @classmethod
+    def open(cls, path: str) -> "BackupCatalog":
+        """Load an existing catalog, or start a fresh one at ``path``."""
+        if os.path.exists(path):
+            return cls.load(path)
+        return cls(path)
+
+    def _rebuild_dumpdates(self) -> None:
+        """Replay logical set records, oldest first, into a fresh DumpDates.
+
+        Replaying in date order reproduces exactly the live recording
+        sequence, so the supersede rule lands in the same final state.
+        """
+        self.dumpdates = DumpDates()
+        logical = [s for s in self.sets.values()
+                   if s.strategy == STRATEGY_LOGICAL]
+        for backup_set in sorted(logical, key=lambda s: (s.date, s.day)):
+            self.dumpdates.record(backup_set.fsid, backup_set.subtree,
+                                  backup_set.level, backup_set.date)
+
+    # -- media inventory ---------------------------------------------------
+
+    def register_cartridge(self, capacity: int,
+                           label: Optional[str] = None) -> CartridgeRecord:
+        if label is None:
+            label = "crt%04d" % self.next_cartridge
+            self.next_cartridge += 1
+        if label in self.media:
+            raise CatalogError("cartridge %r already registered" % label)
+        record = CartridgeRecord(label, capacity)
+        self.media[label] = record
+        return record
+
+    def cartridge_record(self, label: str) -> CartridgeRecord:
+        try:
+            return self.media[label]
+        except KeyError:
+            raise CatalogError("no cartridge %r in the media inventory" % label)
+
+    def scratch_media(self) -> List[CartridgeRecord]:
+        return [c for c in self.media.values() if c.status == "scratch"]
+
+    # -- recording sets ----------------------------------------------------
+
+    def record_set(
+        self,
+        fsid: str,
+        subtree: str,
+        strategy: str,
+        level: int,
+        day: int,
+        date: int,
+        snapshot: Optional[str] = None,
+        base_snapshot: Optional[str] = None,
+        start_time: float = 0.0,
+        end_time: float = 0.0,
+        bytes_to_tape: int = 0,
+        files: int = 0,
+        blocks: int = 0,
+        cartridges: Iterable[str] = (),
+        save: bool = True,
+    ) -> BackupSet:
+        """Record one completed dump; links its incremental base.
+
+        The base is resolved by ``base_snapshot`` when given (image
+        incrementals are cut against an explicit snapshot), else by the
+        dumpdates rule: the most recent recorded set at a strictly lower
+        level for the same (fsid, subtree, strategy).
+        """
+        base_id = self._resolve_base(fsid, subtree, strategy, level,
+                                     base_snapshot)
+        set_id = "S%04d" % self.next_set
+        self.next_set += 1
+        backup_set = BackupSet(
+            set_id, fsid, subtree, strategy, level, day, date,
+            base_set_id=base_id, snapshot=snapshot,
+            start_time=start_time, end_time=end_time,
+            bytes_to_tape=bytes_to_tape, files=files, blocks=blocks,
+            cartridges=list(cartridges),
+        )
+        self.sets[set_id] = backup_set
+        if strategy == STRATEGY_LOGICAL:
+            # Idempotent when the dump already recorded through
+            # ``self.dumpdates`` (same level, same date).
+            self.dumpdates.record(fsid, subtree, level, date)
+        if save:
+            self.save()
+        return backup_set
+
+    def _resolve_base(self, fsid: str, subtree: str, strategy: str,
+                      level: int, base_snapshot: Optional[str]) -> Optional[str]:
+        if base_snapshot is not None:
+            for backup_set in self.sets.values():
+                if (backup_set.fsid == fsid
+                        and backup_set.snapshot == base_snapshot):
+                    return backup_set.set_id
+            raise CatalogError(
+                "base snapshot %r of %s has no backup set in the catalog"
+                % (base_snapshot, fsid)
+            )
+        if level == 0:
+            return None
+        candidates = [
+            s for s in self.sets.values()
+            if s.fsid == fsid and s.subtree == subtree
+            and s.strategy == strategy and s.level < level
+        ]
+        if not candidates:
+            raise CatalogError(
+                "no lower-level set recorded for %s:%s below level %d"
+                % (fsid, subtree, level)
+            )
+        return max(candidates, key=lambda s: (s.date, s.day)).set_id
+
+    # -- queries -----------------------------------------------------------
+
+    def sets_for(self, fsid: str, subtree: Optional[str] = None,
+                 strategy: Optional[str] = None) -> List[BackupSet]:
+        """Matching sets, oldest first."""
+        out = [
+            s for s in self.sets.values()
+            if s.fsid == fsid
+            and (subtree is None or s.subtree == subtree)
+            and (strategy is None or s.strategy == strategy)
+        ]
+        return sorted(out, key=lambda s: (s.day, s.date, s.set_id))
+
+    def get_set(self, set_id: str) -> BackupSet:
+        try:
+            return self.sets[set_id]
+        except KeyError:
+            raise CatalogError("no backup set %r in the catalog" % set_id)
+
+    def chain_members(self, set_id: str) -> List[BackupSet]:
+        """The chain ending at ``set_id``, base (level 0) first."""
+        chain: List[BackupSet] = []
+        seen = set()
+        cursor: Optional[str] = set_id
+        while cursor is not None:
+            if cursor in seen:
+                raise CatalogError("base-link cycle at set %r" % cursor)
+            seen.add(cursor)
+            backup_set = self.get_set(cursor)
+            chain.append(backup_set)
+            cursor = backup_set.base_set_id
+        chain.reverse()
+        return chain
+
+    def root_of(self, set_id: str) -> str:
+        """The level-0 (full) set anchoring ``set_id``'s chain."""
+        return self.chain_members(set_id)[0].set_id
+
+    def chain_for(self, fsid: str, subtree: str = "/",
+                  target_day: Optional[int] = None,
+                  strategy: Optional[str] = None) -> RestorePlan:
+        """The minimal restore chain reaching (fsid, subtree) at
+        ``target_day`` (the latest state not newer than that day; the
+        newest state overall when None).
+
+        Returns a :class:`RestorePlan` naming the ordered backup sets
+        and the exact cartridges to load.  Raises :class:`CatalogError`
+        when nothing covers the target or part of the chain has been
+        pruned.
+        """
+        candidates = [
+            s for s in self.sets_for(fsid, subtree, strategy)
+            if target_day is None or s.day <= target_day
+        ]
+        if not candidates:
+            raise CatalogError(
+                "no backup of %s:%s at or before day %s"
+                % (fsid, subtree, target_day)
+            )
+        target = candidates[-1]
+        chain = self.chain_members(target.set_id)
+        for backup_set in chain:
+            if not backup_set.ok:
+                raise CatalogError(
+                    "chain for %s:%s day %s needs %s, which was pruned"
+                    % (fsid, subtree, target_day, backup_set.set_id)
+                )
+        return RestorePlan(chain)
+
+    # -- retention support -------------------------------------------------
+
+    def dependents_of(self, set_id: str) -> List[BackupSet]:
+        return [s for s in self.sets.values() if s.base_set_id == set_id]
+
+    def mark_obsolete(self, set_ids: Iterable[str], save: bool = True) -> None:
+        """Retire whole chains; refuses to orphan a surviving incremental.
+
+        Every set whose base is being retired must itself be retired (or
+        already obsolete) — pruning may only remove chains from the tail
+        of history, never a base out from under a live incremental.
+        """
+        retiring = set(set_ids)
+        for set_id in retiring:
+            self.get_set(set_id)  # validate
+        for backup_set in self.sets.values():
+            if (backup_set.ok and backup_set.set_id not in retiring
+                    and backup_set.base_set_id in retiring):
+                raise CatalogError(
+                    "cannot obsolete %s: surviving set %s depends on it"
+                    % (backup_set.base_set_id, backup_set.set_id)
+                )
+        for set_id in retiring:
+            self.sets[set_id].status = STATUS_OBSOLETE
+        if save:
+            self.save()
+
+    def validate_no_orphans(self) -> List[str]:
+        """Invariant check: every ok set's whole chain is ok.
+
+        Returns the violations as strings (empty = healthy); tests and
+        ``prune`` assert on it.
+        """
+        problems = []
+        for backup_set in self.sets.values():
+            if not backup_set.ok:
+                continue
+            cursor = backup_set.base_set_id
+            while cursor is not None:
+                base = self.get_set(cursor)
+                if not base.ok:
+                    problems.append(
+                        "%s depends on pruned %s"
+                        % (backup_set.set_id, base.set_id)
+                    )
+                    break
+                cursor = base.base_set_id
+        return problems
+
+    # -- policies ----------------------------------------------------------
+
+    def set_policy(self, fsid: str, subtree: str, text: str,
+                   save: bool = True) -> None:
+        self.policies[_policy_key(fsid, subtree)] = text
+        if save:
+            self.save()
+
+    def policy_for(self, fsid: str, subtree: str = "/") -> Optional[str]:
+        return self.policies.get(_policy_key(fsid, subtree))
+
+    def policy_targets(self) -> List[tuple]:
+        """(fsid, subtree, policy-text) triples with a stored policy."""
+        out = []
+        for key, text in sorted(self.policies.items()):
+            fsid, subtree = key.split("|", 1)
+            out.append((fsid, subtree, text))
+        return out
+
+    # -- reporting ---------------------------------------------------------
+
+    def volumes(self) -> List[tuple]:
+        """Distinct (fsid, subtree) pairs with at least one set."""
+        seen = []
+        for backup_set in self.sets.values():
+            key = (backup_set.fsid, backup_set.subtree)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def latest_day(self) -> int:
+        if not self.sets:
+            return 0
+        return max(s.day for s in self.sets.values())
+
+
+__all__ = ["BackupCatalog", "CATALOG_VERSION"]

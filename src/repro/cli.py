@@ -15,6 +15,17 @@ compose the way a real backup workflow does::
     repro-backup image-restore full.img replica.vol
     repro-backup fsck home.vol
 
+The backup manager commands run whole regimes instead of single dumps::
+
+    repro-backup run-campaign cat.json --pool pool.med --days 14 \\
+        --volume home=logical --volume rlse=image --schedule gfs:4x2
+    repro-backup catalog cat.json list
+    repro-backup catalog cat.json chain home --day 9
+    repro-backup dumpdates --catalog cat.json
+    repro-backup policy cat.json set home "redundancy 2"
+    repro-backup prune cat.json --pool pool.med
+    repro-backup restore-pit cat.json home restored.vol --pool pool.med --day 9
+
 Run ``repro-backup <command> --help`` for each command's options.
 """
 
@@ -410,6 +421,187 @@ def cmd_scrub(args) -> int:
     return 0
 
 
+def _load_catalog_and_pool(catalog_path, pool_path):
+    from repro.catalog import BackupCatalog
+    from repro.manager import MediaPool
+
+    catalog = BackupCatalog.load(catalog_path)
+    pool = MediaPool.load(catalog, pool_path) if pool_path else None
+    return catalog, pool
+
+
+def cmd_dumpdates(args) -> int:
+    """List the persisted dumpdates database."""
+    if args.catalog:
+        from repro.catalog import BackupCatalog
+
+        dates = BackupCatalog.load(args.catalog).dumpdates
+    elif args.path:
+        dates = _load_dumpdates(args.path)
+    else:
+        print("repro-backup: dumpdates needs a JSON path or --catalog",
+              file=sys.stderr)
+        return 2
+    rows = []
+    for (fsid, subtree), levels in sorted(dates._records.items()):
+        for level, date in sorted(levels.items()):
+            rows.append((fsid, subtree, level, date))
+    print("%-16s %-16s %5s %10s" % ("FILESYSTEM", "SUBTREE", "LEVEL", "DATE"))
+    for fsid, subtree, level, date in rows:
+        print("%-16s %-16s %5d %10d" % (fsid, subtree, level, date))
+    print("%d record(s)" % len(rows))
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    from repro.catalog import BackupCatalog
+
+    catalog = BackupCatalog.load(args.catalog)
+    if args.action == "list":
+        print("%-6s %-10s %-8s %-14s %3s %4s %6s %10s %-5s %s"
+              % ("SET", "FSID", "STRATEGY", "SUBTREE", "LVL", "DAY",
+                 "BASE", "BYTES", "STAT", "CARTRIDGES"))
+        for fsid, subtree in catalog.volumes():
+            for s in catalog.sets_for(fsid, subtree):
+                print("%-6s %-10s %-8s %-14s %3d %4d %6s %10d %-5s %s"
+                      % (s.set_id, s.fsid, s.strategy, s.subtree, s.level,
+                         s.day, s.base_set_id or "-", s.bytes_to_tape,
+                         s.status[:5], ",".join(s.cartridges)))
+        scratch = sum(1 for c in catalog.media.values()
+                      if c.status == "scratch")
+        free = sum(c.remaining for c in catalog.media.values())
+        print("media: %d cartridge(s), %d scratch, %s free"
+              % (len(catalog.media), scratch, fmt_bytes(free)))
+        for fsid, subtree, text in catalog.policy_targets():
+            print("policy: %s:%s -> %s" % (fsid, subtree, text))
+        return 0
+    if args.action == "chain":
+        if not args.fsid:
+            print("repro-backup: catalog chain needs a FSID", file=sys.stderr)
+            return 2
+        plan = catalog.chain_for(args.fsid, subtree=args.subtree,
+                                 target_day=args.day)
+        print("chain for %s:%s day %s (%s, %d set(s)):"
+              % (args.fsid, args.subtree,
+                 "latest" if args.day is None else args.day,
+                 plan.strategy, len(plan)))
+        for s in plan.sets:
+            print("  %s level %d day %d  tapes: %s"
+                  % (s.set_id, s.level, s.day, ",".join(s.cartridges)))
+        print("load order: %s" % ",".join(plan.cartridges))
+        return 0
+    print("unknown catalog action %r" % args.action, file=sys.stderr)
+    return 2
+
+
+def cmd_policy(args) -> int:
+    from repro.catalog import BackupCatalog
+    from repro.manager import parse_policy
+
+    catalog = BackupCatalog.load(args.catalog)
+    if args.action == "set":
+        if not args.fsid or not args.policy:
+            print("repro-backup: policy set needs FSID and POLICY",
+                  file=sys.stderr)
+            return 2
+        parse_policy(args.policy)  # validate before storing
+        catalog.set_policy(args.fsid, args.subtree, args.policy)
+        print("policy for %s:%s -> %s" % (args.fsid, args.subtree,
+                                          args.policy))
+        return 0
+    for fsid, subtree, text in catalog.policy_targets():
+        print("%s:%s -> %s" % (fsid, subtree, text))
+    return 0
+
+
+def cmd_prune(args) -> int:
+    from repro.manager import prune
+
+    catalog, pool = _load_catalog_and_pool(args.catalog, args.pool)
+    retired = prune(catalog, pool, now_day=args.day)
+    if pool is not None:
+        pool.save(args.pool)
+    if not retired:
+        print("prune: nothing to retire")
+        return 0
+    for (fsid, subtree), set_ids in sorted(retired.items()):
+        print("prune: %s:%s retired %s" % (fsid, subtree, ",".join(set_ids)))
+    scratch = sum(1 for c in catalog.media.values() if c.status == "scratch")
+    print("prune: %d cartridge(s) back in the scratch pool" % scratch)
+    return 0
+
+
+def cmd_run_campaign(args) -> int:
+    from repro.catalog import BackupCatalog
+    from repro.manager import (
+        CampaignDriver,
+        MediaPool,
+        parse_policy,
+        parse_schedule,
+    )
+    from repro.workload import WorkloadGenerator
+
+    catalog = BackupCatalog(args.catalog)
+    pool = MediaPool(catalog)
+    pool.add_blank(args.tapes, capacity=_parse_size(args.tape_capacity))
+    schedule = parse_schedule(args.schedule)
+    if args.policy:
+        parse_policy(args.policy)  # validate
+    driver = CampaignDriver(catalog, pool, seed=args.seed,
+                            keep_daily_snapshots=args.daily_snapshots)
+    if args.save_volumes:
+        os.makedirs(args.save_volumes, exist_ok=True)
+    specs = []
+    for index, spec in enumerate(args.volume):
+        if "=" not in spec:
+            print("repro-backup: --volume wants NAME=STRATEGY, got %r"
+                  % spec, file=sys.stderr)
+            return 2
+        name, strategy = spec.split("=", 1)
+        volume = RaidVolume(make_geometry(args.groups, args.disks,
+                                          args.blocks), name=name)
+        fs = WaflFilesystem.format(volume)
+        generator = WorkloadGenerator(seed=args.seed + index)
+        tree = generator.populate(fs, _parse_size(args.bytes))
+        fs.consistency_point()
+        driver.add_volume(fs, tree, strategy, schedule)
+        if args.policy:
+            catalog.set_policy(name, "/", args.policy, save=False)
+        specs.append((name, fs))
+    driver.run(args.days)
+    pool.save(args.pool)
+    for name, fs in specs:
+        fs.consistency_point()
+        save_volume(fs.volume, os.path.join(args.save_volumes,
+                                            "%s.vol" % name))
+    print("campaign: %d day(s), %d volume(s), %d set(s) catalogued"
+          % (args.days, len(specs), len(catalog.sets)))
+    for fsid, subtree in catalog.volumes():
+        sets = catalog.sets_for(fsid, subtree)
+        total = sum(s.bytes_to_tape for s in sets)
+        print("  %s:%s  %d set(s), %s to tape"
+              % (fsid, subtree, len(sets), fmt_bytes(total)))
+    return 0
+
+
+def cmd_restore_pit(args) -> int:
+    from repro.manager import restore_point_in_time
+
+    catalog, pool = _load_catalog_and_pool(args.catalog, args.pool)
+    fs, plan = restore_point_in_time(
+        catalog, pool, args.fsid, subtree=args.subtree, day=args.day,
+        geometry=make_geometry(args.groups, args.disks, args.blocks),
+    )
+    save_volume(fs.volume, args.out)
+    print("restore-pit: %s:%s day %s via %s (%d set(s))"
+          % (args.fsid, args.subtree,
+             "latest" if args.day is None else args.day,
+             plan.strategy, len(plan)))
+    print("restore-pit: loaded cartridges %s" % ",".join(plan.cartridges))
+    print("restore-pit: wrote %s" % args.out)
+    return 0
+
+
 def cmd_df(args) -> int:
     fs = _mount(args.volume)
     stats = fs.statfs()
@@ -569,6 +761,80 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("df", help="show space usage")
     p.add_argument("volume")
     p.set_defaults(fn=cmd_df)
+
+    p = sub.add_parser("dumpdates",
+                       help="list persisted dumpdates records")
+    p.add_argument("path", nargs="?", default=None,
+                   help="JSON dumpdates database (as written by dump)")
+    p.add_argument("--catalog", default=None,
+                   help="read the dumpdates the catalog rebuilt instead")
+    p.set_defaults(fn=cmd_dumpdates)
+
+    p = sub.add_parser("catalog", help="inspect the backup catalog")
+    p.add_argument("catalog", help="catalog JSON file")
+    p.add_argument("action", choices=["list", "chain"])
+    p.add_argument("fsid", nargs="?", default=None)
+    p.add_argument("--subtree", default="/")
+    p.add_argument("--day", type=int, default=None,
+                   help="target campaign day (latest when omitted)")
+    p.set_defaults(fn=cmd_catalog)
+
+    p = sub.add_parser("policy", help="manage retention policies")
+    p.add_argument("catalog")
+    p.add_argument("action", choices=["set", "list"])
+    p.add_argument("fsid", nargs="?", default=None)
+    p.add_argument("policy", nargs="?", default=None,
+                   help="'redundancy N' or 'window N days'")
+    p.add_argument("--subtree", default="/")
+    p.set_defaults(fn=cmd_policy)
+
+    p = sub.add_parser("prune",
+                       help="apply retention policies, recycle cartridges")
+    p.add_argument("catalog")
+    p.add_argument("--pool", default=None,
+                   help="media pool container (erased tapes written back)")
+    p.add_argument("--day", type=int, default=None,
+                   help="'today' for window policies (latest day if omitted)")
+    p.set_defaults(fn=cmd_prune)
+
+    p = sub.add_parser("run-campaign",
+                       help="run a multi-day backup campaign")
+    p.add_argument("catalog", help="catalog JSON file to create")
+    p.add_argument("--pool", required=True,
+                   help="media pool container to create")
+    p.add_argument("--volume", action="append", required=True,
+                   metavar="NAME=STRATEGY",
+                   help="volume to enroll (strategy: logical or image)")
+    p.add_argument("--days", type=int, default=14)
+    p.add_argument("--schedule", default="gfs:7x4",
+                   help="gfs[:DxW] or hanoi[:LEVELS]")
+    p.add_argument("--policy", default=None,
+                   help="retention policy applied to every volume")
+    p.add_argument("--bytes", default="4MB", help="initial data per volume")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--tapes", type=int, default=60)
+    p.add_argument("--tape-capacity", default="8MB")
+    p.add_argument("--groups", type=int, default=2)
+    p.add_argument("--disks", type=int, default=4)
+    p.add_argument("--blocks", type=int, default=2500)
+    p.add_argument("--save-volumes", default=".",
+                   help="directory for the live volume containers")
+    p.add_argument("--daily-snapshots", action="store_true",
+                   help="snapshot each volume every simulated day")
+    p.set_defaults(fn=cmd_run_campaign)
+
+    p = sub.add_parser("restore-pit",
+                       help="catalog-planned point-in-time restore")
+    p.add_argument("catalog")
+    p.add_argument("fsid")
+    p.add_argument("out", help="volume container to write")
+    p.add_argument("--pool", required=True)
+    p.add_argument("--day", type=int, default=None)
+    p.add_argument("--subtree", default="/")
+    p.add_argument("--groups", type=int, default=2)
+    p.add_argument("--disks", type=int, default=4)
+    p.add_argument("--blocks", type=int, default=2500)
+    p.set_defaults(fn=cmd_restore_pit)
 
     return parser
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import List, Optional
+from typing import List
 
 from repro.errors import FormatError
 from repro.dumpfmt.spec import (

@@ -16,7 +16,6 @@ from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.errors import FormatError
 from repro.dumpfmt.records import (
-    FLAG_HAS_ACL,
     RecordHeader,
     TapeLabel,
     pack_inode_bitmap,

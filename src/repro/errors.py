@@ -68,6 +68,10 @@ class BackupError(ReproError):
     """Backup/restore engine failure."""
 
 
+class CatalogError(BackupError):
+    """Backup catalog corruption, missing chain, or bad restore plan."""
+
+
 class FormatError(BackupError):
     """Malformed or corrupted dump stream."""
 
@@ -90,6 +94,7 @@ class WorkloadError(ReproError):
 
 __all__ = [
     "BackupError",
+    "CatalogError",
     "CrossLinkError",
     "ExistsError",
     "FilesystemError",

@@ -1,0 +1,44 @@
+"""The backup manager: policy, scheduling, media, and campaigns.
+
+Sits above both backup strategies and the catalog:
+
+* :mod:`repro.manager.retention` — ``Redundancy`` / ``RecoveryWindow``
+  policies and chain-safe :func:`~repro.manager.retention.prune`;
+* :mod:`repro.manager.schedule` — GFS and Tower-of-Hanoi level
+  sequences;
+* :mod:`repro.manager.media` — the cartridge pool behind the catalog's
+  inventory;
+* :mod:`repro.manager.campaign` — the multi-day driver and catalog-led
+  point-in-time restore.
+"""
+
+from repro.manager.campaign import (
+    CampaignDriver,
+    CampaignVolume,
+    restore_point_in_time,
+)
+from repro.manager.media import MediaPool
+from repro.manager.retention import (
+    RecoveryWindow,
+    Redundancy,
+    RetentionPolicy,
+    parse_policy,
+    prune,
+)
+from repro.manager.schedule import GFS, Schedule, TowerOfHanoi, parse_schedule
+
+__all__ = [
+    "CampaignDriver",
+    "CampaignVolume",
+    "GFS",
+    "MediaPool",
+    "RecoveryWindow",
+    "Redundancy",
+    "RetentionPolicy",
+    "Schedule",
+    "TowerOfHanoi",
+    "parse_policy",
+    "parse_schedule",
+    "prune",
+    "restore_point_in_time",
+]

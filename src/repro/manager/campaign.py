@@ -1,0 +1,255 @@
+"""The campaign driver: fleets of dumps over simulated weeks.
+
+A campaign runs one or more volumes through N simulated days.  Each day
+the driver ages every volume with the workload mutator, asks each
+volume's schedule for the day's dump level, runs all the day's dumps
+concurrently in one :class:`~repro.perf.executor.TimedRun` (they share
+the CPU and disk channels exactly as the paper's Section 5 experiments
+do), and records the results — set, base link, cartridges — in the
+catalog.
+
+:func:`restore_point_in_time` closes the loop: it asks the catalog for
+the minimal chain covering a target day and replays it, logical chains
+through fresh-format + incremental restores with symbol-table
+threading, image chains through raw block restores, geometry taken from
+the tape itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CatalogError, IncrementalError
+from repro.backup.jobs import build_dump_engine
+from repro.backup.logical.restore import LogicalRestore
+from repro.backup.physical.image import ImageHeader
+from repro.backup.physical.restore import ImageRestore
+from repro.catalog.records import STRATEGY_IMAGE, STRATEGY_LOGICAL
+from repro.perf.costs import CostModel, HardwareProfile
+from repro.perf.executor import TimedRun
+from repro.perf.ops import drain_engine
+from repro.raid.layout import make_geometry
+from repro.raid.volume import RaidVolume
+from repro.wafl.filesystem import WaflFilesystem
+from repro.workload.mutate import MutationConfig, apply_mutations
+
+DAILY_SNAPSHOT = "day.%d"
+
+
+class CampaignVolume:
+    """One volume enrolled in a campaign."""
+
+    def __init__(self, fs, tree, strategy: str, schedule, subtree: str = "/"):
+        if strategy not in (STRATEGY_LOGICAL, STRATEGY_IMAGE):
+            raise CatalogError("unknown campaign strategy %r" % (strategy,))
+        self.fs = fs
+        self.tree = tree
+        self.strategy = strategy
+        self.schedule = schedule
+        self.subtree = subtree
+        # Image strategy: the newest dump snapshot per level, kept alive
+        # as future incremental bases (superseded ones are deleted, the
+        # same way dumpdates supersedes deeper records).
+        self.kept_snapshots: Dict[int, Tuple[str, int]] = {}
+
+    @property
+    def fsid(self) -> str:
+        return self.fs.volume.name
+
+    def base_snapshot_for(self, level: int) -> Optional[str]:
+        """The most recent kept snapshot at a strictly lower level."""
+        candidates = [(date, name) for lvl, (name, date)
+                      in self.kept_snapshots.items() if lvl < level]
+        if not candidates:
+            return None
+        return max(candidates)[1]
+
+    def supersede_snapshots(self, level: int, name: str, date: int) -> None:
+        """A fresh level-L dump retires kept snapshots at levels >= L."""
+        for old_level in list(self.kept_snapshots):
+            if old_level >= level:
+                old_name, _date = self.kept_snapshots.pop(old_level)
+                self.fs.snapshot_delete(old_name)
+        self.kept_snapshots[level] = (name, date)
+
+
+class CampaignDriver:
+    """Run a multi-day, multi-volume backup campaign against a catalog."""
+
+    def __init__(
+        self,
+        catalog,
+        pool,
+        profile: Optional[HardwareProfile] = None,
+        costs: Optional[CostModel] = None,
+        mutations: Optional[MutationConfig] = None,
+        keep_daily_snapshots: bool = False,
+        seed: int = 1234,
+    ):
+        self.catalog = catalog
+        self.pool = pool
+        self.profile = profile
+        self.costs = costs
+        self.mutations = mutations or MutationConfig()
+        self.keep_daily_snapshots = keep_daily_snapshots
+        self.seed = seed
+        self.volumes: List[CampaignVolume] = []
+        self.day = 0
+
+    def add_volume(self, fs, tree, strategy: str, schedule,
+                   subtree: str = "/") -> CampaignVolume:
+        volume = CampaignVolume(fs, tree, strategy, schedule, subtree)
+        self.volumes.append(volume)
+        return volume
+
+    # -- one day -----------------------------------------------------------
+
+    def _mutation_config(self, day: int, index: int) -> MutationConfig:
+        base = self.mutations
+        return MutationConfig(
+            modify_fraction=base.modify_fraction,
+            delete_fraction=base.delete_fraction,
+            create_fraction=base.create_fraction,
+            rename_fraction=base.rename_fraction,
+            seed=self.seed + 1009 * day + 97 * index,
+        )
+
+    def _effective_level(self, volume: CampaignVolume, level: int) -> int:
+        """Downgrade to a full when the scheduled level has no base yet."""
+        if level == 0:
+            return 0
+        if volume.strategy == STRATEGY_LOGICAL:
+            try:
+                self.catalog.dumpdates.base_for(
+                    volume.fsid, volume.subtree, level)
+            except IncrementalError:
+                return 0
+            return level
+        if volume.base_snapshot_for(level) is None:
+            return 0
+        return level
+
+    def run_day(self) -> Dict[str, object]:
+        """Age every volume, dump them concurrently, record the sets."""
+        day = self.day
+        if day > 0:
+            for index, volume in enumerate(self.volumes):
+                apply_mutations(volume.fs, volume.tree,
+                                self._mutation_config(day, index))
+        if self.keep_daily_snapshots:
+            for volume in self.volumes:
+                volume.fs.snapshot_create(DAILY_SNAPSHOT % day)
+
+        run = TimedRun(self.profile)
+        staged = []
+        for volume in self.volumes:
+            level = self._effective_level(
+                volume, volume.schedule.level_for(day))
+            job_name = "%s.d%02d" % (volume.fsid, day)
+            drive = self.pool.drive_for_job(job_name)
+            snapshot_name = None
+            base_snapshot = None
+            if volume.strategy == STRATEGY_IMAGE:
+                snapshot_name = "img.%s.d%d" % (volume.fsid, day)
+                if level > 0:
+                    base_snapshot = volume.base_snapshot_for(level)
+            engine = build_dump_engine(
+                volume.fs, drive, volume.strategy, level=level,
+                subtree=volume.subtree,
+                dumpdates=(self.catalog.dumpdates
+                           if volume.strategy == STRATEGY_LOGICAL else None),
+                snapshot_name=snapshot_name, base_snapshot=base_snapshot,
+                costs=self.costs,
+            )
+            job = run.add_job(job_name, engine)
+            staged.append((volume, level, drive, snapshot_name,
+                           base_snapshot, job))
+        run.run()
+
+        results = {}
+        for volume, level, drive, snapshot_name, base_snapshot, job in staged:
+            data = job.data
+            if volume.strategy == STRATEGY_LOGICAL:
+                date = data.date
+            else:
+                record = volume.fs.fsinfo.find_snapshot(snapshot_name)
+                date = record.created if record else 0
+            backup_set = self.catalog.record_set(
+                fsid=volume.fsid, subtree=volume.subtree,
+                strategy=volume.strategy, level=level, day=day, date=date,
+                snapshot=snapshot_name, base_snapshot=base_snapshot,
+                start_time=job.start, end_time=job.end,
+                bytes_to_tape=data.bytes_to_tape, files=data.files,
+                blocks=data.blocks, save=False,
+            )
+            self.pool.commit_job(drive, backup_set)
+            if volume.strategy == STRATEGY_IMAGE:
+                volume.supersede_snapshots(level, snapshot_name, date)
+            results[job.name] = (backup_set, job)
+        self.catalog.save()
+        self.day += 1
+        return results
+
+    def run(self, days: int) -> int:
+        """Run ``days`` consecutive campaign days; returns the next day."""
+        for _ in range(days):
+            self.run_day()
+        return self.day
+
+
+# ---------------------------------------------------------------------------
+# Point-in-time restore from the catalog
+# ---------------------------------------------------------------------------
+
+def restore_point_in_time(
+    catalog,
+    pool,
+    fsid: str,
+    subtree: str = "/",
+    day: Optional[int] = None,
+    strategy: Optional[str] = None,
+    geometry=None,
+    costs: Optional[CostModel] = None,
+    name: Optional[str] = None,
+):
+    """Restore (fsid, subtree) to ``day`` from exactly the chain's media.
+
+    Returns ``(fs, plan)``: a mounted file system holding the restored
+    state and the :class:`~repro.catalog.records.RestorePlan` that was
+    replayed.  Logical chains restore into a freshly formatted volume
+    (``geometry`` chooses its shape — cross-geometry restore is the
+    logical strategy's strength); image chains rebuild a volume of the
+    geometry recorded on the tape itself.
+    """
+    plan = catalog.chain_for(fsid, subtree=subtree, target_day=day,
+                             strategy=strategy)
+    name = name or "restore.%s" % fsid
+    if plan.strategy == STRATEGY_LOGICAL:
+        volume = RaidVolume(geometry or make_geometry(2, 4, 2500), name=name)
+        fs = WaflFilesystem.format(volume)
+        symtab = None
+        for backup_set in plan.sets:
+            drive = pool.drive_for_restore(backup_set)
+            result = drain_engine(
+                LogicalRestore(fs, drive, symtab=symtab, costs=costs).run()
+            )
+            symtab = result.symtab
+        fs.consistency_point()
+        return fs, plan
+
+    first_drive = pool.drive_for_restore(plan.sets[0])
+    first_drive.rewind()
+    header = ImageHeader.unpack_from_stream(first_drive.read)
+    volume = RaidVolume(header.geometry, name=name)
+    for backup_set in plan.sets:
+        drive = pool.drive_for_restore(backup_set)
+        drain_engine(ImageRestore(volume, drive, costs=costs).run())
+    return WaflFilesystem.mount(volume), plan
+
+
+__all__ = [
+    "CampaignDriver",
+    "CampaignVolume",
+    "DAILY_SNAPSHOT",
+    "restore_point_in_time",
+]

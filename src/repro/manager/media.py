@@ -1,0 +1,152 @@
+"""The media pool: real cartridges behind the catalog's inventory.
+
+The catalog tracks every cartridge's label, capacity, and status
+(scratch or allocated-to-a-set); the pool holds the actual
+:class:`~repro.storage.tape.TapeCartridge` objects and hands out drives:
+
+* :meth:`drive_for_job` — a drive fed by every scratch cartridge, so a
+  dump can spill across media without running dry;
+* :meth:`commit_job` — after the dump, the cartridges that actually
+  received data are allocated to the new backup set (in write order —
+  the restore's load order) and the untouched ones silently return;
+* :meth:`drive_for_restore` — a drive loaded with exactly a set's
+  cartridges;
+* :meth:`recycle` — a pruned set's cartridges are erased and go back to
+  scratch.
+
+One cartridge belongs to at most one backup set, which is what makes
+recycling a chain safe: no surviving set shares its media.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CatalogError, TapeError
+from repro.catalog.records import MEDIA_ALLOCATED, MEDIA_SCRATCH, BackupSet
+from repro.storage.persist import load_media, save_media
+from repro.storage.tape import TapeCartridge, TapeDrive, TapeStacker
+from repro.units import GB
+
+
+class MediaPool:
+    """Cartridge objects plus allocation against a catalog's inventory."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self._cartridges: Dict[str, TapeCartridge] = {}
+
+    # -- inventory ---------------------------------------------------------
+
+    def add_blank(self, count: int, capacity: int = 35 * GB) -> List[str]:
+        """Register ``count`` blank cartridges; returns their labels."""
+        labels = []
+        for _ in range(count):
+            record = self.catalog.register_cartridge(capacity)
+            self._cartridges[record.label] = TapeCartridge(
+                capacity=capacity, label=record.label
+            )
+            labels.append(record.label)
+        return labels
+
+    def cartridge(self, label: str) -> TapeCartridge:
+        try:
+            return self._cartridges[label]
+        except KeyError:
+            raise CatalogError("cartridge %r is not in the pool" % label)
+
+    def scratch_labels(self) -> List[str]:
+        return [c.label for c in self.catalog.media.values()
+                if c.status == MEDIA_SCRATCH and c.label in self._cartridges]
+
+    # -- job lifecycle -----------------------------------------------------
+
+    def drive_for_job(self, name: str) -> TapeDrive:
+        """A drive stacked with every free scratch cartridge, write order
+        fixed.
+
+        A scratch cartridge another in-flight job has already written
+        (``used > 0``, not yet committed) is excluded — concurrent
+        same-day jobs must never share media.
+        """
+        cartridges = [self._cartridges[label]
+                      for label in self.scratch_labels()
+                      if not self._cartridges[label].used]
+        if not cartridges:
+            raise TapeError("media pool has no scratch cartridges")
+        return TapeDrive(TapeStacker(cartridges, name=name))
+
+    def commit_job(self, drive: TapeDrive, backup_set: BackupSet) -> List[str]:
+        """Allocate the cartridges the job wrote to ``backup_set``.
+
+        The drive loads its magazine sequentially, so the cartridges it
+        wrote are exactly the loaded prefix (``next_slot``); other used
+        cartridges in the magazine belong to concurrent jobs.
+        """
+        written = drive.stacker.cartridges[:drive.stacker.next_slot]
+        labels = []
+        for cartridge in written:
+            if not cartridge.used:
+                continue
+            record = self.catalog.cartridge_record(cartridge.label)
+            if record.status != MEDIA_SCRATCH:
+                raise CatalogError(
+                    "job wrote on non-scratch cartridge %r" % cartridge.label
+                )
+            record.status = MEDIA_ALLOCATED
+            record.set_id = backup_set.set_id
+            record.used = cartridge.used
+            labels.append(cartridge.label)
+        backup_set.cartridges = labels
+        return labels
+
+    def drive_for_restore(self, backup_set: BackupSet) -> TapeDrive:
+        """A rewound drive holding exactly the set's cartridges, in order."""
+        if not backup_set.cartridges:
+            raise CatalogError(
+                "backup set %s has no cartridges recorded" % backup_set.set_id
+            )
+        cartridges = [self.cartridge(label)
+                      for label in backup_set.cartridges]
+        return TapeDrive(TapeStacker(cartridges,
+                                     name="restore." + backup_set.set_id))
+
+    def recycle(self, backup_set: BackupSet) -> List[str]:
+        """Erase a retired set's cartridges and return them to scratch."""
+        recycled = []
+        for label in backup_set.cartridges:
+            record = self.catalog.cartridge_record(label)
+            if record.set_id != backup_set.set_id:
+                raise CatalogError(
+                    "cartridge %r is allocated to %s, not %s"
+                    % (label, record.set_id, backup_set.set_id)
+                )
+            self.cartridge(label).erase()
+            record.status = MEDIA_SCRATCH
+            record.set_id = None
+            record.used = 0
+            recycled.append(label)
+        return recycled
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str) -> int:
+        """Write every cartridge's bytes; statuses live in the catalog."""
+        ordered = [self._cartridges[label]
+                   for label in sorted(self._cartridges)]
+        return save_media(ordered, path)
+
+    @classmethod
+    def load(cls, catalog, path: str) -> "MediaPool":
+        pool = cls(catalog)
+        for cartridge in load_media(path):
+            if cartridge.label not in catalog.media:
+                raise CatalogError(
+                    "media file has cartridge %r the catalog does not know"
+                    % cartridge.label
+                )
+            pool._cartridges[cartridge.label] = cartridge
+        return pool
+
+
+__all__ = ["MediaPool"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.errors import BackupError, IncrementalError
+from repro.errors import BackupError
 from repro.backup.common import drain_engine
 from repro.backup.physical.dump import ImageDump
 from repro.backup.physical.restore import ImageRestore

@@ -19,7 +19,7 @@ recorded for the paper's Table 3-5 rows.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ReproError
 from repro.perf.costs import HardwareProfile, f630_profile

@@ -13,7 +13,6 @@ the measured bottleneck.
 
 from __future__ import annotations
 
-from typing import Optional
 
 
 class PerfOp:

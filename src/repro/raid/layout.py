@@ -8,7 +8,7 @@ refuses a mismatch.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Tuple
+from typing import NamedTuple, Tuple
 
 from repro.errors import RaidError
 from repro.storage.disk import DEFAULT_BLOCK_SIZE

@@ -12,7 +12,7 @@ what the paper's tables measure.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque
 
 from repro.sim.core import Event, SimError, Simulation
 from repro.sim.stats import UtilizationTracker

@@ -21,6 +21,7 @@ from repro.storage.tape import TapeCartridge, TapeDrive, TapeStacker
 
 _VOLUME_MAGIC = b"RPROVOL1"
 _TAPE_MAGIC = b"RPROTAP1"
+_MEDIA_MAGIC = b"RPROMED1"
 _CHUNK = struct.Struct("<IQ")  # block number, payload length (compressed)
 
 
@@ -126,8 +127,60 @@ def load_tape(path: str) -> TapeDrive:
             cartridge.data = bytearray(_read_frame(handle))
             cartridges.append(cartridge)
         stacker = TapeStacker(cartridges, name=name)
-        stacker.next_slot = sum(1 for c in cartridges if c.used)
-        return TapeDrive(stacker, name=name)
+        used_count = sum(1 for c in cartridges if c.used)
+        stacker.next_slot = used_count
+        drive = TapeDrive(stacker, name=name)
+        if used_count and cartridges[used_count - 1].remaining > 0:
+            # Resume appends on the partially written final cartridge,
+            # exactly as the unreloaded drive would — otherwise later
+            # writes skip its tail and the logical stream diverges.
+            stacker.next_slot = used_count - 1
+            drive.loaded = stacker.load_next()
+        return drive
 
 
-__all__ = ["load_tape", "load_volume", "save_tape", "save_volume"]
+def save_media(cartridges, path: str) -> int:
+    """Write a media set (labelled cartridges) to ``path``; returns bytes.
+
+    Unlike :func:`save_tape` this keeps each cartridge's own label and
+    capacity — the backup manager's media pool is an inventory of
+    individually tracked tapes, not an anonymous magazine.
+    """
+    with open(path, "wb") as handle:
+        handle.write(_MEDIA_MAGIC)
+        cartridges = list(cartridges)
+        handle.write(struct.pack("<I", len(cartridges)))
+        for cartridge in cartridges:
+            label = cartridge.label.encode("utf-8")
+            handle.write(struct.pack("<H", len(label)))
+            handle.write(label)
+            handle.write(struct.pack("<Q", cartridge.capacity))
+            _write_frame(handle, bytes(cartridge.data))
+        return handle.tell()
+
+
+def load_media(path: str):
+    """Rebuild the cartridge list saved by :func:`save_media`."""
+    with open(path, "rb") as handle:
+        if handle.read(8) != _MEDIA_MAGIC:
+            raise StorageError("%s is not a media container" % path)
+        (count,) = struct.unpack("<I", handle.read(4))
+        cartridges = []
+        for _ in range(count):
+            (label_length,) = struct.unpack("<H", handle.read(2))
+            label = handle.read(label_length).decode("utf-8")
+            (capacity,) = struct.unpack("<Q", handle.read(8))
+            cartridge = TapeCartridge(capacity=capacity, label=label)
+            cartridge.data = bytearray(_read_frame(handle))
+            cartridges.append(cartridge)
+        return cartridges
+
+
+__all__ = [
+    "load_media",
+    "load_tape",
+    "load_volume",
+    "save_media",
+    "save_tape",
+    "save_volume",
+]

@@ -16,7 +16,7 @@ become scattered.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import FilesystemError
 from repro.wafl.consts import BLOCK_SIZE, MAX_FILE_BLOCKS, NDIRECT, PTRS_PER_BLOCK

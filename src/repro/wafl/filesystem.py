@@ -38,7 +38,6 @@ from repro.errors import (
     ExistsError,
     FilesystemError,
     IsADirectoryError_,
-    NoSpaceError,
     NotADirectoryError_,
     NotEmptyError,
     NotFoundError,

@@ -20,7 +20,6 @@ from typing import List, Optional
 
 from repro.errors import FilesystemError, SnapshotError
 from repro.wafl.consts import (
-    BLOCK_SIZE,
     FSINFO_BACKUP,
     FSINFO_BLOCKS,
     FSINFO_MAGIC,

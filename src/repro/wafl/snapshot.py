@@ -19,7 +19,7 @@ from repro.wafl.blocktree import BlockTree, TreeContext
 from repro.wafl.consts import BLOCK_SIZE, INODES_PER_BLOCK, INODE_SIZE, INO_BLOCKMAP, ROOT_INO
 from repro.wafl.directory import Directory
 from repro.wafl.fsinfo import SnapshotRecord
-from repro.wafl.inode import FileType, Inode
+from repro.wafl.inode import Inode
 
 
 class SnapshotView:

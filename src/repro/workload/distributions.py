@@ -12,7 +12,7 @@ kind of data on the paper's ``home`` and ``rlse`` volumes.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.errors import WorkloadError
 from repro.units import KB, MB

@@ -1,0 +1,119 @@
+"""Edge cases of the dumpdates supersede rule in ``record()``.
+
+The invariants under test: comparisons are strict, so equal-date records
+(ties in the same clock tick) survive and the database replays to the
+same state in any order; records that could never be selected by
+``base_for`` are not stored.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backup.logical.dumpdates import DumpDates
+from repro.errors import IncrementalError
+
+
+class TestSupersedeOnRecord:
+    def test_newer_lower_level_deletes_older_deeper(self):
+        dates = DumpDates()
+        dates.record("home", "/", 2, 100)
+        dates.record("home", "/", 1, 200)
+        assert dict(dates.history("home", "/")) == {1: 200}
+
+    def test_equal_date_deeper_record_survives(self):
+        """A level 0 and level 2 cut in the same clock tick both stay."""
+        dates = DumpDates()
+        dates.record("home", "/", 0, 100)
+        dates.record("home", "/", 2, 100)
+        assert dict(dates.history("home", "/")) == {0: 100, 2: 100}
+        # And replaying in the opposite order lands in the same state.
+        replay = DumpDates()
+        replay.record("home", "/", 2, 100)
+        replay.record("home", "/", 0, 100)
+        assert replay._records == dates._records
+
+    def test_base_for_tie_prefers_deeper_level(self):
+        dates = DumpDates()
+        dates.record("home", "/", 0, 100)
+        dates.record("home", "/", 1, 100)
+        # Both candidates share the date; the deeper one wins the
+        # max((date, level)) comparison, yielding the smaller increment.
+        assert dates.base_for("home", "/", 2) == (100, 1)
+
+    def test_incoming_superseded_record_is_dropped(self):
+        """A deeper record older than an existing lower level is dead on
+        arrival: ``base_for`` could never select it."""
+        dates = DumpDates()
+        dates.record("home", "/", 1, 200)
+        dates.record("home", "/", 2, 100)
+        assert dict(dates.history("home", "/")) == {1: 200}
+
+    def test_incoming_equal_date_deeper_is_kept(self):
+        dates = DumpDates()
+        dates.record("home", "/", 1, 200)
+        dates.record("home", "/", 2, 200)
+        assert dict(dates.history("home", "/")) == {1: 200, 2: 200}
+
+
+class TestSameLevelRerecord:
+    def test_rerecord_keeps_newer_date(self):
+        dates = DumpDates()
+        dates.record("home", "/", 1, 100)
+        dates.record("home", "/", 1, 150)
+        assert dates.base_for("home", "/", 2) == (150, 1)
+
+    def test_rerecord_with_older_date_is_ignored(self):
+        """A stale replay (e.g. re-applying an old journal) cannot move
+        the level backwards."""
+        dates = DumpDates()
+        dates.record("home", "/", 1, 150)
+        dates.record("home", "/", 1, 100)
+        assert dates.base_for("home", "/", 2) == (150, 1)
+
+    def test_rerecord_same_date_is_a_noop(self):
+        dates = DumpDates()
+        dates.record("home", "/", 1, 150)
+        before = dict(dates._records[("home", "/")])
+        dates.record("home", "/", 1, 150)
+        assert dates._records[("home", "/")] == before
+
+    def test_fresh_rerecord_supersedes_deeper_levels(self):
+        dates = DumpDates()
+        dates.record("home", "/", 0, 100)
+        dates.record("home", "/", 2, 120)
+        dates.record("home", "/", 0, 150)
+        assert dict(dates.history("home", "/")) == {0: 150}
+
+
+class TestReplayDeterminism:
+    def test_any_order_replay_converges(self):
+        """The final database depends only on the record set, not the
+        arrival order — what makes catalog rebuild-on-load safe."""
+        records = [(0, 100), (2, 103), (2, 106), (1, 110), (2, 113),
+                   (0, 150), (2, 153)]
+        import itertools
+        baseline = None
+        for perm in itertools.permutations(records):
+            dates = DumpDates()
+            for level, date in perm:
+                dates.record("home", "/", level, date)
+            if baseline is None:
+                baseline = dates._records
+            assert dates._records == baseline, perm
+        assert dict(baseline[("home", "/")]) == {0: 150, 2: 153}
+
+    def test_subtrees_are_independent(self):
+        dates = DumpDates()
+        dates.record("home", "/", 0, 100)
+        dates.record("home", "/qt0", 0, 300)
+        dates.record("home", "/", 1, 200)
+        assert dates.base_for("home", "/", 2) == (200, 1)
+        assert dates.base_for("home", "/qt0", 1) == (300, 0)
+
+    def test_level_bounds_still_enforced(self):
+        dates = DumpDates()
+        with pytest.raises(IncrementalError):
+            dates.record("home", "/", 10, 100)
+        with pytest.raises(IncrementalError):
+            dates.record("home", "/", -1, 100)

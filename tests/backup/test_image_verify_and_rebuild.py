@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.backup import DumpDates, ImageDump, drain_engine
+from repro.backup import ImageDump, drain_engine
 from repro.backup.physical import compare_image
 from repro.errors import RaidError
 from repro.wafl.consts import BLOCK_SIZE

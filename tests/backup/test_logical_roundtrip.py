@@ -1,6 +1,5 @@
 """Level-0 logical dump/restore round trips."""
 
-import pytest
 
 from repro.backup import (
     DumpDates,
@@ -10,10 +9,9 @@ from repro.backup import (
     verify_trees,
 )
 from repro.wafl.consts import BLOCK_SIZE
-from repro.wafl.filesystem import WaflFilesystem
 from repro.wafl.fsck import fsck
 
-from tests.conftest import make_drive, make_fs, make_volume, populate_small_tree
+from tests.conftest import make_drive, make_fs, populate_small_tree
 
 
 def dump_to(fs, drive, **kwargs):

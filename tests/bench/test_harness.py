@@ -11,7 +11,7 @@ from repro.bench import (
     run_table3,
     run_table45,
 )
-from repro.bench.configs import EliotConfig, clear_env_cache
+from repro.bench.configs import EliotConfig
 from repro.bench.report import Row, Table, to_markdown
 
 TINY = 16000  # 1:16000 scale: ~12 MB home volume, seconds per run

@@ -1,0 +1,273 @@
+"""The persistent backup catalog: records, chains, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.catalog import (
+    CATALOG_VERSION,
+    BackupCatalog,
+    BackupSet,
+    RestorePlan,
+)
+from repro.errors import CatalogError
+
+
+def record_simple(catalog, level, day, date=None, fsid="home", subtree="/",
+                  strategy="logical", **kwargs):
+    return catalog.record_set(
+        fsid=fsid, subtree=subtree, strategy=strategy, level=level,
+        day=day, date=date if date is not None else 100 + day,
+        save=False, **kwargs,
+    )
+
+
+class TestRecording:
+    def test_ids_are_sequential(self):
+        catalog = BackupCatalog()
+        first = record_simple(catalog, 0, 0)
+        second = record_simple(catalog, 2, 1)
+        assert first.set_id == "S0001"
+        assert second.set_id == "S0002"
+
+    def test_full_has_no_base(self):
+        catalog = BackupCatalog()
+        full = record_simple(catalog, 0, 0)
+        assert full.is_full
+        assert full.base_set_id is None
+
+    def test_incremental_links_most_recent_lower_level(self):
+        catalog = BackupCatalog()
+        full = record_simple(catalog, 0, 0)
+        lvl1 = record_simple(catalog, 1, 4)
+        lvl2 = record_simple(catalog, 2, 5)
+        assert lvl1.base_set_id == full.set_id
+        # Level 2 bases on the level 1 (more recent than the full).
+        assert lvl2.base_set_id == lvl1.set_id
+
+    def test_incremental_without_base_raises(self):
+        catalog = BackupCatalog()
+        with pytest.raises(CatalogError):
+            record_simple(catalog, 2, 0)
+
+    def test_base_snapshot_resolves_explicitly(self):
+        catalog = BackupCatalog()
+        full = record_simple(catalog, 0, 0, strategy="image",
+                             snapshot="img.d0")
+        incr = record_simple(catalog, 2, 1, strategy="image",
+                             snapshot="img.d1", base_snapshot="img.d0")
+        assert incr.base_set_id == full.set_id
+
+    def test_unknown_base_snapshot_raises(self):
+        catalog = BackupCatalog()
+        with pytest.raises(CatalogError):
+            record_simple(catalog, 2, 1, strategy="image",
+                          base_snapshot="never-dumped")
+
+    def test_logical_records_feed_dumpdates(self):
+        catalog = BackupCatalog()
+        record_simple(catalog, 0, 0, date=50)
+        date, base_level = catalog.dumpdates.base_for("home", "/", 2)
+        assert (date, base_level) == (50, 0)
+
+    def test_strategies_keep_separate_chains(self):
+        catalog = BackupCatalog()
+        record_simple(catalog, 0, 0, strategy="logical")
+        with pytest.raises(CatalogError):
+            # No image full exists, so an image incremental has no base.
+            record_simple(catalog, 1, 1, strategy="image")
+
+
+class TestChainPlanning:
+    def build_gfs_history(self, catalog):
+        """Fulls at day 0 and 8, level 1 at day 4 and 12, level 2 between."""
+        for day in range(14):
+            if day % 8 == 0:
+                level = 0
+            elif day % 4 == 0:
+                level = 1
+            else:
+                level = 2
+            record_simple(catalog, level, day)
+
+    def test_chain_for_latest_is_minimal(self):
+        catalog = BackupCatalog()
+        self.build_gfs_history(catalog)
+        plan = catalog.chain_for("home")
+        assert [s.day for s in plan.sets] == [8, 12, 13]
+        assert [s.level for s in plan.sets] == [0, 1, 2]
+
+    def test_chain_for_target_day_picks_state_not_newer(self):
+        catalog = BackupCatalog()
+        self.build_gfs_history(catalog)
+        plan = catalog.chain_for("home", target_day=6)
+        assert [s.day for s in plan.sets] == [0, 4, 6]
+        assert plan.target.day == 6
+
+    def test_chain_for_day_between_dumps_uses_previous(self):
+        catalog = BackupCatalog()
+        record_simple(catalog, 0, 0)
+        record_simple(catalog, 2, 3)
+        plan = catalog.chain_for("home", target_day=5)
+        assert plan.target.day == 3
+
+    def test_chain_for_uncovered_day_raises(self):
+        catalog = BackupCatalog()
+        record_simple(catalog, 0, 5)
+        with pytest.raises(CatalogError):
+            catalog.chain_for("home", target_day=2)
+
+    def test_chain_for_unknown_volume_raises(self):
+        catalog = BackupCatalog()
+        with pytest.raises(CatalogError):
+            catalog.chain_for("nosuch")
+
+    def test_plan_cartridges_are_ordered_and_deduped(self):
+        catalog = BackupCatalog()
+        record_simple(catalog, 0, 0, cartridges=["c1", "c2"])
+        record_simple(catalog, 1, 1, cartridges=["c2", "c3"])
+        plan = catalog.chain_for("home")
+        assert plan.cartridges == ["c1", "c2", "c3"]
+
+    def test_chain_through_pruned_base_raises(self):
+        catalog = BackupCatalog()
+        self.build_gfs_history(catalog)
+        first_full = catalog.chain_for("home", target_day=7).sets[0]
+        chain = [s.set_id for s in catalog.sets_for("home")
+                 if catalog.root_of(s.set_id) == first_full.set_id]
+        catalog.mark_obsolete(chain, save=False)
+        with pytest.raises(CatalogError):
+            catalog.chain_for("home", target_day=6)
+        # Days covered by the second full still plan fine.
+        assert len(catalog.chain_for("home", target_day=13)) == 3
+
+    def test_root_of_and_members(self):
+        catalog = BackupCatalog()
+        self.build_gfs_history(catalog)
+        last = catalog.sets_for("home")[-1]
+        members = catalog.chain_members(last.set_id)
+        assert members[0].is_full
+        assert catalog.root_of(last.set_id) == members[0].set_id
+
+
+class TestObsoleteInvariant:
+    def test_cannot_orphan_a_surviving_incremental(self):
+        catalog = BackupCatalog()
+        full = record_simple(catalog, 0, 0)
+        record_simple(catalog, 1, 1)
+        with pytest.raises(CatalogError):
+            catalog.mark_obsolete([full.set_id], save=False)
+
+    def test_whole_chain_retires_together(self):
+        catalog = BackupCatalog()
+        full = record_simple(catalog, 0, 0)
+        incr = record_simple(catalog, 1, 1)
+        catalog.mark_obsolete([full.set_id, incr.set_id], save=False)
+        assert not catalog.get_set(full.set_id).ok
+        assert catalog.validate_no_orphans() == []
+
+    def test_unknown_set_id_raises(self):
+        catalog = BackupCatalog()
+        with pytest.raises(CatalogError):
+            catalog.mark_obsolete(["S9999"], save=False)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "cat.json")
+        catalog = BackupCatalog(path)
+        catalog.register_cartridge(1000)
+        record_simple(catalog, 0, 0, date=60, cartridges=["crt0001"])
+        record_simple(catalog, 1, 4, date=70)
+        catalog.set_policy("home", "/", "redundancy 2", save=False)
+        catalog.save()
+
+        loaded = BackupCatalog.load(path)
+        assert sorted(loaded.sets) == sorted(catalog.sets)
+        assert loaded.media["crt0001"].capacity == 1000
+        assert loaded.policy_for("home") == "redundancy 2"
+        assert loaded.next_set == catalog.next_set
+        # Chains still plan identically.
+        assert ([s.set_id for s in loaded.chain_for("home").sets]
+                == [s.set_id for s in catalog.chain_for("home").sets])
+
+    def test_dumpdates_rebuilt_on_load(self, tmp_path):
+        path = str(tmp_path / "cat.json")
+        catalog = BackupCatalog(path)
+        record_simple(catalog, 0, 0, date=60)
+        record_simple(catalog, 2, 1, date=65)
+        record_simple(catalog, 1, 4, date=75)
+        catalog.save()
+        loaded = BackupCatalog.load(path)
+        # The level-2 at date 65 was superseded by the level-1 at 75.
+        assert loaded.dumpdates.base_for("home", "/", 2) == (75, 1)
+        history = dict(loaded.dumpdates.history("home", "/"))
+        assert 2 not in history
+
+    def test_save_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "cat.json")
+        catalog = BackupCatalog(path)
+        record_simple(catalog, 0, 0)
+        catalog.save()
+        assert not (tmp_path / "cat.json.tmp").exists()
+
+    def test_open_creates_fresh_when_missing(self, tmp_path):
+        path = str(tmp_path / "new.json")
+        catalog = BackupCatalog.open(path)
+        assert catalog.sets == {}
+        assert catalog.path == path
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(CatalogError):
+            BackupCatalog.load(str(tmp_path / "nope.json"))
+
+    def test_load_bad_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(CatalogError):
+            BackupCatalog.load(str(path))
+
+    def test_load_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"version": CATALOG_VERSION + 1}))
+        with pytest.raises(CatalogError):
+            BackupCatalog.load(str(path))
+
+    def test_load_missing_set_field_raises(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_text(json.dumps({
+            "version": CATALOG_VERSION,
+            "sets": [{"set_id": "S0001", "fsid": "home"}],
+        }))
+        with pytest.raises(CatalogError):
+            BackupCatalog.load(str(path))
+
+    def test_in_memory_catalog_never_touches_disk(self):
+        catalog = BackupCatalog()
+        record_simple(catalog, 0, 0)
+        catalog.save()  # no path: must be a no-op, not an error
+
+
+class TestRecords:
+    def test_backup_set_rejects_unknown_strategy(self):
+        with pytest.raises(CatalogError):
+            BackupSet("S1", "home", "/", "tarball", 0, 0, 0)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(CatalogError):
+            RestorePlan([])
+
+    def test_cartridge_registration_is_unique(self):
+        catalog = BackupCatalog()
+        catalog.register_cartridge(100, label="A")
+        with pytest.raises(CatalogError):
+            catalog.register_cartridge(100, label="A")
+
+    def test_auto_labels_increment(self):
+        catalog = BackupCatalog()
+        first = catalog.register_cartridge(100)
+        second = catalog.register_cartridge(100)
+        assert (first.label, second.label) == ("crt0001", "crt0002")
+        assert len(catalog.scratch_media()) == 2

@@ -1,0 +1,154 @@
+"""Retention policies: keep-sets, chain safety, prune, recycling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import BackupCatalog
+from repro.errors import CatalogError
+from repro.manager import MediaPool, RecoveryWindow, Redundancy, prune
+
+
+def build_history(catalog, days=14, fsid="home"):
+    """GFS-ish: fulls day 0 and 8, level 1 day 4 and 12, level 2 between."""
+    for day in range(days):
+        if day % 8 == 0:
+            level = 0
+        elif day % 4 == 0:
+            level = 1
+        else:
+            level = 2
+        catalog.record_set(fsid=fsid, subtree="/", strategy="logical",
+                           level=level, day=day, date=100 + day, save=False)
+
+
+def days_kept(catalog, policy, now_day, fsid="home"):
+    obsolete = set(policy.obsolete(catalog, fsid, "/", now_day))
+    return [s.day for s in catalog.sets_for(fsid)
+            if s.ok and s.set_id not in obsolete]
+
+
+class TestRedundancy:
+    def test_keeps_last_n_full_chains(self):
+        catalog = BackupCatalog()
+        build_history(catalog)
+        # One chain: everything hanging off the day-8 full survives.
+        assert days_kept(catalog, Redundancy(1), 13) == list(range(8, 14))
+        # Two chains: all 14 days survive.
+        assert days_kept(catalog, Redundancy(2), 13) == list(range(14))
+
+    def test_never_proposes_orphans(self):
+        catalog = BackupCatalog()
+        build_history(catalog)
+        obsolete = Redundancy(1).obsolete(catalog, "home", "/", 13)
+        catalog.mark_obsolete(obsolete, save=False)
+        assert catalog.validate_no_orphans() == []
+
+    def test_ignores_already_obsolete_sets(self):
+        catalog = BackupCatalog()
+        build_history(catalog)
+        first = Redundancy(1).obsolete(catalog, "home", "/", 13)
+        catalog.mark_obsolete(first, save=False)
+        assert Redundancy(1).obsolete(catalog, "home", "/", 13) == []
+
+
+class TestRecoveryWindow:
+    def test_keeps_window_plus_boundary_chain(self):
+        catalog = BackupCatalog()
+        build_history(catalog)
+        kept = days_kept(catalog, RecoveryWindow(3), 13)
+        # Window covers days 10..13; day 9 is the boundary set (the
+        # newest state at the window's far edge), and its chain pulls
+        # in the day-8 full.
+        assert kept == [8, 9, 10, 11, 12, 13]
+
+    def test_wide_window_keeps_everything(self):
+        catalog = BackupCatalog()
+        build_history(catalog)
+        assert days_kept(catalog, RecoveryWindow(30), 13) == list(range(14))
+
+    def test_zero_window_keeps_latest_chain(self):
+        catalog = BackupCatalog()
+        build_history(catalog)
+        kept = days_kept(catalog, RecoveryWindow(0), 13)
+        # Day 13 plus its chain (full at 8, level 1 at 12) and the
+        # boundary set at day 12 (already in the chain).
+        assert kept == [8, 12, 13]
+
+    def test_boundary_restore_still_plans(self):
+        catalog = BackupCatalog()
+        build_history(catalog)
+        obsolete = RecoveryWindow(3).obsolete(catalog, "home", "/", 13)
+        catalog.mark_obsolete(obsolete, save=False)
+        # Restoring to the far edge of the window (day 10) and to the
+        # boundary day both still work.
+        assert catalog.chain_for("home", target_day=10).target.day == 10
+        assert catalog.chain_for("home", target_day=9).target.day == 9
+        with pytest.raises(CatalogError):
+            catalog.chain_for("home", target_day=6)
+
+
+class TestPrune:
+    def build_catalog_with_media(self):
+        catalog = BackupCatalog()
+        pool = MediaPool(catalog)
+        pool.add_blank(20, capacity=1 << 20)
+        for day in range(6):
+            level = 0 if day % 4 == 0 else 2
+            drive = pool.drive_for_job("home.d%d" % day)
+            drive.write(b"x" * (1000 + day))
+            backup_set = catalog.record_set(
+                fsid="home", subtree="/", strategy="logical", level=level,
+                day=day, date=100 + day, save=False)
+            pool.commit_job(drive, backup_set)
+        return catalog, pool
+
+    def test_prune_applies_policies_and_recycles(self):
+        catalog, pool = self.build_catalog_with_media()
+        catalog.set_policy("home", "/", "redundancy 1", save=False)
+        old_chain = [s for s in catalog.sets_for("home") if s.day < 4]
+        old_labels = [label for s in old_chain for label in s.cartridges]
+        retired = prune(catalog, pool)
+        assert retired[("home", "/")] == [s.set_id for s in old_chain]
+        for label in old_labels:
+            record = catalog.cartridge_record(label)
+            assert record.status == "scratch"
+            assert record.set_id is None
+            assert pool.cartridge(label).used == 0
+        # The surviving chain still restores.
+        plan = catalog.chain_for("home")
+        assert [s.day for s in plan.sets] == [4, 5]
+
+    def test_prune_without_policies_is_a_noop(self):
+        catalog, pool = self.build_catalog_with_media()
+        assert prune(catalog, pool) == {}
+        assert all(s.ok for s in catalog.sets.values())
+
+    def test_prune_is_idempotent(self):
+        catalog, pool = self.build_catalog_with_media()
+        catalog.set_policy("home", "/", "redundancy 1", save=False)
+        prune(catalog, pool)
+        assert prune(catalog, pool) == {}
+
+    def test_recycled_cartridges_are_reused_by_new_jobs(self):
+        catalog, pool = self.build_catalog_with_media()
+        catalog.set_policy("home", "/", "redundancy 1", save=False)
+        prune(catalog, pool)
+        drive = pool.drive_for_job("home.d6")
+        drive.write(b"y" * 500)
+        backup_set = catalog.record_set(
+            fsid="home", subtree="/", strategy="logical", level=0,
+            day=6, date=106, save=False)
+        labels = pool.commit_job(drive, backup_set)
+        # The freed first cartridge is back at the head of the pool.
+        assert labels == ["crt0001"]
+
+    def test_prune_with_explicit_now_day(self):
+        catalog, pool = self.build_catalog_with_media()
+        catalog.set_policy("home", "/", "window 10", save=False)
+        # Pretend much time has passed: everything but the boundary
+        # chain falls outside the window.
+        retired = prune(catalog, pool, now_day=40)
+        survivors = [s.day for s in catalog.sets_for("home") if s.ok]
+        assert survivors == [4, 5]
+        assert ("home", "/") in retired

@@ -1,6 +1,5 @@
 """Timed mirroring: steady-state updates are cheap in simulated time too."""
 
-import pytest
 
 from repro.backup.common import drain_engine
 from repro.backup.physical.dump import ImageDump

@@ -15,7 +15,6 @@ from repro.perf.ops import (
     TapeReadOp,
     TapeWriteOp,
 )
-from repro.units import MB
 
 from tests.conftest import make_drive, make_volume
 

@@ -1,6 +1,5 @@
 """Property-based tests over the whole file system and backup stack."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.errors import RaidError, StorageError
+from repro.errors import RaidError
 from repro.raid.group import RaidGroup
 from repro.raid.layout import (
     GroupGeometry,
-    VolumeGeometry,
     geometry_for_capacity,
     locate,
     make_geometry,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Simulation, SimError, Timeout
+from repro.sim import Simulation, SimError
 
 
 def test_timeout_advances_clock():

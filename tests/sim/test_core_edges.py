@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Simulation, SimError
-from repro.sim.core import AllOf, Process
+from repro.sim.core import Process
 
 
 def test_all_of_propagates_failure():

@@ -2,13 +2,21 @@
 
 import pytest
 
-from repro.errors import StorageError
-from repro.storage.persist import load_tape, load_volume, save_tape, save_volume
-from repro.units import MB
+from repro.errors import StorageError, TapeError
+from repro.storage.persist import (
+    load_media,
+    load_tape,
+    load_volume,
+    save_media,
+    save_tape,
+    save_volume,
+)
+from repro.storage.tape import TapeCartridge
+from repro.units import KB, MB
 from repro.wafl.filesystem import WaflFilesystem
 from repro.wafl.fsck import fsck
 
-from tests.conftest import make_drive, make_fs, make_volume, populate_small_tree
+from tests.conftest import make_drive, make_fs, populate_small_tree
 
 
 def test_volume_roundtrip_bit_identical(tmp_path):
@@ -83,6 +91,88 @@ def test_truncated_container_rejected(tmp_path):
         handle.write(data[: len(data) // 2])
     with pytest.raises(StorageError):
         load_volume(path)
+
+
+def test_tape_roundtrip_partial_last_cartridge(tmp_path):
+    """A stream ending mid-cartridge reloads with the partial tail intact."""
+    drive = make_drive(tapes=4, capacity=64 * KB)
+    payload = bytes(range(256)) * 600  # 150 KB: 2 full carts + a partial
+    drive.write(payload)
+    path = str(tmp_path / "tape.bin")
+    save_tape(drive, path)
+    loaded = load_tape(path)
+    used = [c.used for c in loaded.stacker.cartridges]
+    assert used == [64 * KB, 64 * KB, len(payload) - 128 * KB, 0]
+    assert 0 < loaded.stacker.cartridges[2].remaining < 64 * KB
+    # Reads cross both cartridge boundaries and stop at the true end.
+    loaded.rewind()
+    assert loaded.read(len(payload)) == payload
+    with pytest.raises(TapeError):
+        loaded.read(1)
+
+
+def test_tape_append_after_reload_matches_unreloaded_drive(tmp_path):
+    """Reload-then-append must continue the stream where it left off,
+    not skip the partially written cartridge's tail."""
+    first = b"A" * (100 * KB)
+    second = b"B" * (50 * KB)
+
+    reference = make_drive(tapes=4, capacity=64 * KB)
+    reference.write(first)
+    reference.write(second)
+
+    drive = make_drive(tapes=4, capacity=64 * KB)
+    drive.write(first)
+    path = str(tmp_path / "tape.bin")
+    save_tape(drive, path)
+    resumed = load_tape(path)
+    resumed.write(second)
+
+    assert resumed.stream_bytes() == reference.stream_bytes()
+    assert ([c.used for c in resumed.stacker.cartridges]
+            == [c.used for c in reference.stacker.cartridges])
+    resumed.rewind()
+    assert resumed.read(len(first) + len(second)) == first + second
+
+
+def test_tape_append_after_reload_with_exactly_full_cartridge(tmp_path):
+    """When the stream ends exactly at a cartridge boundary, appends
+    resume on the next blank cartridge."""
+    drive = make_drive(tapes=3, capacity=64 * KB)
+    drive.write(b"C" * (64 * KB))
+    path = str(tmp_path / "tape.bin")
+    save_tape(drive, path)
+    resumed = load_tape(path)
+    resumed.write(b"D" * KB)
+    used = [c.used for c in resumed.stacker.cartridges]
+    assert used == [64 * KB, KB, 0]
+
+
+def test_media_roundtrip_keeps_labels(tmp_path):
+    cartridges = [TapeCartridge(capacity=32 * KB, label="crt%04d" % i)
+                  for i in range(1, 4)]
+    cartridges[0].append(b"x" * (32 * KB))  # full
+    cartridges[1].append(b"y" * 100)        # partial
+    path = str(tmp_path / "pool.med")
+    save_media(cartridges, path)
+    loaded = load_media(path)
+    assert [c.label for c in loaded] == ["crt0001", "crt0002", "crt0003"]
+    assert [c.capacity for c in loaded] == [32 * KB] * 3
+    assert bytes(loaded[0].data) == b"x" * (32 * KB)
+    assert bytes(loaded[1].data) == b"y" * 100
+    assert loaded[2].used == 0
+
+
+def test_media_container_rejects_wrong_magic(tmp_path):
+    drive = make_drive(tapes=1, capacity=32 * KB)
+    tape_path = str(tmp_path / "tape.bin")
+    save_tape(drive, tape_path)
+    with pytest.raises(StorageError):
+        load_media(tape_path)  # tape container, not a media container
+    media_path = str(tmp_path / "pool.med")
+    save_media([TapeCartridge(capacity=KB, label="a")], media_path)
+    with pytest.raises(StorageError):
+        load_tape(media_path)
 
 
 def test_compression_keeps_containers_small(tmp_path):

@@ -173,3 +173,105 @@ def test_rebuild_via_cli(workdir, capsys):
     run(["populate", "vol.bin", "--bytes", "1MB", "--seed", 10])
     assert run(["rebuild", "vol.bin", "--group", 0, "--disk", 1]) == 0
     assert run(["fsck", "vol.bin", "--parity"]) == 0
+
+
+def test_dumpdates_listing_via_cli(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    run(["populate", "vol.bin", "--bytes", "512KB", "--seed", 11])
+    run(["dump", "vol.bin", "l0.tape", "--level", 0,
+         "--dumpdates", "dd.json"])
+    run(["dump", "vol.bin", "l2.tape", "--level", 2,
+         "--dumpdates", "dd.json"])
+    capsys.readouterr()
+    assert run(["dumpdates", "dd.json"]) == 0
+    out = capsys.readouterr().out
+    assert "2 record(s)" in out
+    lines = [line.split() for line in out.splitlines()
+             if line.startswith("vol")]
+    assert [line[2] for line in lines] == ["0", "2"]
+    # No source at all is an error.
+    assert run(["dumpdates"]) == 2
+
+
+class TestManagerWorkflow:
+    """run-campaign -> catalog -> restore-pit -> policy -> prune, each a
+    separate ``main()`` invocation, so every step survives a restart."""
+
+    DAYS = 5  # GFS(4,2): full day 0, level 1 day 4, level 2 between
+
+    @pytest.fixture()
+    def campaign(self, workdir, capsys):
+        assert run(["run-campaign", "cat.json", "--pool", "pool.med",
+                    "--volume", "home=logical", "--volume", "rlse=image",
+                    "--days", self.DAYS, "--schedule", "gfs:4x2",
+                    "--bytes", "768KB", "--tapes", 30,
+                    "--tape-capacity", "4MB", "--daily-snapshots"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: %d day(s), 2 volume(s)" % self.DAYS in out
+        return workdir
+
+    def test_catalog_listing_and_chain(self, campaign, capsys):
+        assert run(["catalog", "cat.json", "list"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("logical") >= self.DAYS
+        assert out.count("image") >= self.DAYS
+        assert "media:" in out
+        assert run(["catalog", "cat.json", "chain", "home",
+                    "--day", 4]) == 0
+        out = capsys.readouterr().out
+        assert "level 0 day 0" in out
+        assert "level 1 day 4" in out
+        assert "level 2" not in out  # minimal chain skips the level 2s
+        assert "load order:" in out
+        # chain without a FSID is a usage error.
+        assert run(["catalog", "cat.json", "chain"]) == 2
+
+    def test_dumpdates_from_catalog(self, campaign, capsys):
+        assert run(["dumpdates", "--catalog", "cat.json"]) == 0
+        out = capsys.readouterr().out
+        assert "home" in out
+        assert "rlse" not in out  # image sets don't feed dumpdates
+
+    def test_restore_pit_matches_source_snapshot(self, campaign, capsys):
+        from repro.backup.verify import verify_trees
+        from repro.storage.persist import load_volume
+        from repro.wafl.filesystem import WaflFilesystem
+
+        for fsid, day in (("home", 3), ("rlse", self.DAYS - 1)):
+            out_name = "rest-%s.bin" % fsid
+            assert run(["restore-pit", "cat.json", fsid, out_name,
+                        "--pool", "pool.med", "--day", day]) == 0
+            source = WaflFilesystem.mount(load_volume("%s.vol" % fsid))
+            restored = WaflFilesystem.mount(load_volume(out_name))
+            assert verify_trees(source.snapshot_view("day.%d" % day),
+                                restored) == []
+
+    def test_policy_and_prune_roundtrip(self, campaign, capsys):
+        assert run(["policy", "cat.json", "set", "home",
+                    "redundancy 1"]) == 0
+        assert run(["policy", "cat.json", "set", "rlse", "window 2"]) == 0
+        capsys.readouterr()
+        assert run(["policy", "cat.json", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "home:/ -> redundancy 1" in out
+        assert "rlse:/ -> window 2" in out
+        # One full chain each: redundancy 1 keeps everything, but the
+        # image volume's 2-day window retires days 0 and 1... except
+        # they anchor day 2's chain, so only truly unneeded sets go.
+        assert run(["prune", "cat.json", "--pool", "pool.med"]) == 0
+        prune_out = capsys.readouterr().out
+        assert "prune:" in prune_out
+        # Whatever was retired, every surviving chain still plans.
+        assert run(["catalog", "cat.json", "chain", "home"]) == 0
+        assert run(["catalog", "cat.json", "chain", "rlse"]) == 0
+
+    def test_policy_rejects_garbage(self, campaign, capsys):
+        assert run(["policy", "cat.json", "set", "home",
+                    "keep forever"]) == 2
+        assert run(["policy", "cat.json", "set"]) == 2
+
+
+def test_run_campaign_rejects_bad_volume_spec(workdir, capsys):
+    assert run(["run-campaign", "cat.json", "--pool", "pool.med",
+                "--volume", "home", "--days", 1]) == 2
+    assert "NAME=STRATEGY" in capsys.readouterr().err

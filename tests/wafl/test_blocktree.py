@@ -3,9 +3,8 @@
 import pytest
 
 from repro.errors import FilesystemError
-from repro.wafl.blocktree import BlockTree, TreeContext
+from repro.wafl.blocktree import BlockTree
 from repro.wafl.consts import BLOCK_SIZE, NDIRECT, PTRS_PER_BLOCK
-from repro.wafl.inode import FileType, Inode
 
 from tests.conftest import make_fs
 

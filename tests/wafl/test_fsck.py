@@ -1,10 +1,7 @@
 """fsck must actually detect corruption, not just bless healthy trees."""
 
-import pytest
 
-from repro.wafl.blocktree import BlockTree
-from repro.wafl.consts import BLOCK_SIZE, ROOT_INO
-from repro.wafl.directory import Directory
+from repro.wafl.consts import BLOCK_SIZE
 from repro.wafl.fsck import fsck, fsck_snapshot
 
 from tests.conftest import make_fs, populate_small_tree

@@ -1,6 +1,5 @@
 """Edge cases: qtrees through dump, unicode names, deep trees, big dirs."""
 
-import pytest
 
 from repro.backup import DumpDates, LogicalDump, LogicalRestore, drain_engine
 from repro.backup.logical.inspect import list_tape
