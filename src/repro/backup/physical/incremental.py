@@ -105,25 +105,37 @@ def spans_with_readthrough(
     fragmented file system.  Returns ``(span_start, span_len, runs)``
     triples; only the run blocks go to tape.
     """
+    runs = list(runs)
+    n = len(runs)
+    if n == 0:
+        return []
+    # Vectorized: one np.diff finds every gap-rule break, then each
+    # gap-contiguous segment is chunked to max_span with searchsorted
+    # (ends are monotonic inside a segment because gaps are >= 0 there),
+    # so the cost is O(spans log runs) instead of a per-run Python loop.
+    starts = np.fromiter((run[0] for run in runs), dtype=np.int64, count=n)
+    counts = np.fromiter((run[1] for run in runs), dtype=np.int64, count=n)
+    ends = starts + counts
+    gaps = starts[1:] - ends[:-1]
+    breaks = np.flatnonzero((gaps < 0) | (gaps > gap_threshold))
+    bounds = np.concatenate((breaks + 1, [n]))
     spans: List[Tuple[int, int, List[Tuple[int, int]]]] = []
-    current_start = None
-    current_end = None
-    current_runs: List[Tuple[int, int]] = []
-    for start, count in runs:
-        if current_start is None:
-            current_start, current_end = start, start + count
-            current_runs = [(start, count)]
-            continue
-        gap = start - current_end
-        if 0 <= gap <= gap_threshold and (start + count) - current_start <= max_span:
-            current_end = start + count
-            current_runs.append((start, count))
-        else:
-            spans.append((current_start, current_end - current_start, current_runs))
-            current_start, current_end = start, start + count
-            current_runs = [(start, count)]
-    if current_start is not None:
-        spans.append((current_start, current_end - current_start, current_runs))
+    first = 0
+    for bound in bounds:
+        index = first
+        while index < bound:
+            # Furthest run still within max_span of this span's start; the
+            # first run is always taken even if it alone exceeds max_span.
+            last = index + int(np.searchsorted(
+                ends[index:bound], starts[index] + max_span, side="right"
+            )) - 1
+            if last < index:
+                last = index
+            spans.append((int(starts[index]),
+                          int(ends[last] - starts[index]),
+                          runs[index : last + 1]))
+            index = last + 1
+        first = int(bound)
     return spans
 
 

@@ -13,11 +13,19 @@ Each ablation isolates one mechanism behind the paper's results:
 
 Ablations run at a reduced scale (they sweep several configurations) and
 report the metric the mechanism moves.
+
+Every sweep is exposed two ways: as a *point function* — a module-level
+(picklable) function taking one sweep coordinate and returning its row
+tuples, which the parallel evaluation plane fans out as independent
+tasks — and as the classic ``ablate_*()`` serial wrapper that assembles
+the same points into a :class:`~repro.bench.report.Table`.  Environments
+are seeded and deterministic, so a point computed in a worker process
+produces exactly the rows the serial loop does.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import repro.backup.logical.dump as logical_dump_module
 from repro.backup.logical.dump import STAGE_FILES, LogicalDump
@@ -33,6 +41,15 @@ from repro.wafl.filesystem import WaflFilesystem
 
 ABLATION_SCALE = 4000  # ~47 MB home replica: seconds per configuration
 
+#: (label, measured, paper, unit, note) — what a point function returns.
+RowTuple = Tuple[str, object, object, str, str]
+
+
+def _scale(scale: Optional[int]) -> int:
+    """Resolve a point's scale, reading the module global at call time
+    so tests that monkeypatch ``ABLATION_SCALE`` keep working."""
+    return ABLATION_SCALE if scale is None else scale
+
 
 def _dump_rate(env, engine, profile: Optional[HardwareProfile] = None) -> float:
     run = TimedRun(profile)
@@ -42,8 +59,12 @@ def _dump_rate(env, engine, profile: Optional[HardwareProfile] = None) -> float:
     return stage.tape_rate
 
 
-def ablate_fragmentation() -> Table:
-    """Aging sweep: who pays for a mature file system?
+# ---------------------------------------------------------------------------
+# Point functions — one sweep coordinate each, picklable rows out
+# ---------------------------------------------------------------------------
+
+def fragmentation_point(rounds: int, scale: Optional[int] = None) -> List[RowTuple]:
+    """One aging level: who pays for a mature file system?
 
     The DLT hides the effect at one drive (both strategies are tape
     bound), so the sweep runs with a fast tape (30 MB/s) — the
@@ -52,37 +73,36 @@ def ablate_fragmentation() -> Table:
     """
     from repro.units import MB as _MB
 
-    table = Table("Ablation — fragmentation (aging rounds) vs. dump rate")
     fast_tape = HardwareProfile(tape_rate=30.0 * _MB)
-    for rounds in (0, 1, 3):
-        env = build_home_env(EliotConfig(scale=ABLATION_SCALE,
-                                         aging_rounds=rounds,
-                                         churn_fraction=0.28,
-                                         seed=2000))
-        costs = env.config.cost_model()
-        logical = _dump_rate(env, LogicalDump(
-            env.home_fs, env.new_drive(), dumpdates=DumpDates(), costs=costs
-        ).run(), fast_tape)
-        physical = _dump_rate(env, ImageDump(
-            env.home_fs, env.new_drive(), costs=costs
-        ).run(), fast_tape)
-        frag = env.fragmentation["mean_extent_blocks"]
-        table.add("rounds=%d mean extent (blocks)" % rounds, frag)
-        table.add("rounds=%d logical dump MB/s" % rounds, logical)
-        table.add("rounds=%d physical dump MB/s" % rounds, physical)
-    return table
+    env = build_home_env(EliotConfig(scale=_scale(scale),
+                                     aging_rounds=rounds,
+                                     churn_fraction=0.28,
+                                     seed=2000))
+    costs = env.config.cost_model()
+    logical = _dump_rate(env, LogicalDump(
+        env.home_fs, env.new_drive(), dumpdates=DumpDates(), costs=costs
+    ).run(), fast_tape)
+    physical = _dump_rate(env, ImageDump(
+        env.home_fs, env.new_drive(), costs=costs
+    ).run(), fast_tape)
+    frag = env.fragmentation["mean_extent_blocks"]
+    return [
+        ("rounds=%d mean extent (blocks)" % rounds, frag, None, "", ""),
+        ("rounds=%d logical dump MB/s" % rounds, logical, None, "", ""),
+        ("rounds=%d physical dump MB/s" % rounds, physical, None, "", ""),
+    ]
 
 
-def ablate_nvram_bypass() -> Table:
-    """Footnote 2: logical restore with and without the NVRAM logging cost.
+def nvram_point(bypass: bool, scale: Optional[int] = None) -> List[RowTuple]:
+    """Footnote 2: logical restore with or without the NVRAM logging cost.
 
     "There is no inherent need for logical restore to go through NVRAM...
     Modifying WAFL's logical restore to avoid NVRAM is in the works."
     The file system still takes its consistency points either way; the
-    ablation removes only the per-block log charge.
+    ablation removes only the per-block log charge.  Each point redoes
+    the (deterministic) dump so it is self-contained for a worker.
     """
-    table = Table("Ablation — logical restore through vs. bypassing NVRAM")
-    env = build_home_env(EliotConfig(scale=ABLATION_SCALE, seed=2001))
+    env = build_home_env(EliotConfig(scale=_scale(scale), seed=2001))
     drive = env.new_drive("nvram-ab")
     run = TimedRun()
     run.add_job("dump", LogicalDump(env.home_fs, drive,
@@ -90,103 +110,203 @@ def ablate_nvram_bypass() -> Table:
                                     costs=env.config.cost_model()).run())
     run.run()
 
-    for label, bypass in (("through NVRAM", False), ("bypassing NVRAM", True)):
-        costs = env.config.cost_model()
-        if bypass:
-            costs.restore_nvram_block = 0.0
-        target = WaflFilesystem.format(env.fresh_home_volume(),
-                                       nvram=NvramLog())
-        run = TimedRun()
-        run.add_job("restore", LogicalRestore(target, drive,
-                                              costs=costs).run())
-        result = run.run()["restore"]
-        fill = result.stages[STAGE_FILL]
-        table.add("%s fill MB/s" % label, fill.tape_rate)
-        table.add("%s fill CPU" % label, fill.cpu_utilization(), unit="%")
-        table.add("%s total elapsed" % label, result.elapsed, unit="s")
-    return table
+    label = "bypassing NVRAM" if bypass else "through NVRAM"
+    costs = env.config.cost_model()
+    if bypass:
+        costs.restore_nvram_block = 0.0
+    target = WaflFilesystem.format(env.fresh_home_volume(),
+                                   nvram=NvramLog())
+    run = TimedRun()
+    run.add_job("restore", LogicalRestore(target, drive, costs=costs).run())
+    result = run.run()["restore"]
+    fill = result.stages[STAGE_FILL]
+    return [
+        ("%s fill MB/s" % label, fill.tape_rate, None, "", ""),
+        ("%s fill CPU" % label, fill.cpu_utilization(), None, "%", ""),
+        ("%s total elapsed" % label, result.elapsed, None, "s", ""),
+    ]
 
 
-def ablate_readahead() -> Table:
-    """Dump's read-ahead window: 1 (serialized) vs. the default."""
-    table = Table("Ablation — dump read-ahead window vs. file-stage rate")
-    env = build_home_env(EliotConfig(scale=ABLATION_SCALE))
+def readahead_point(window: Optional[int],
+                    scale: Optional[int] = None) -> List[RowTuple]:
+    """Dump with one read-ahead window (``None`` = the shipped default)."""
+    env = build_home_env(EliotConfig(scale=_scale(scale)))
     costs = env.config.cost_model()
     original = logical_dump_module.READAHEAD_EXTENTS
+    actual = original if window is None else window
     try:
-        for window in (1, 2, original):
-            logical_dump_module.READAHEAD_EXTENTS = window
-            rate = _dump_rate(env, LogicalDump(
-                env.home_fs, env.new_drive(), dumpdates=DumpDates(),
-                costs=costs,
-            ).run())
-            table.add("window=%d logical files MB/s" % window, rate)
+        logical_dump_module.READAHEAD_EXTENTS = actual
+        rate = _dump_rate(env, LogicalDump(
+            env.home_fs, env.new_drive(), dumpdates=DumpDates(), costs=costs,
+        ).run())
     finally:
         logical_dump_module.READAHEAD_EXTENTS = original
-    return table
+    return [("window=%d logical files MB/s" % actual, rate, None, "", "")]
 
 
-def ablate_cache_size() -> Table:
-    """Buffer cache: cold metadata reads during logical restore."""
+def cache_point(cache_blocks: int, scale: Optional[int] = None) -> List[RowTuple]:
+    """Logical restore against one buffer-cache size (cold metadata reads).
+
+    Like :func:`nvram_point`, the point redoes its own dump so it can run
+    in any worker.
+    """
     from repro.perf.ops import DiskReadOp
 
-    table = Table("Ablation — buffer cache size vs. cold metadata reads")
-    env = build_home_env(EliotConfig(scale=ABLATION_SCALE, seed=2002))
+    env = build_home_env(EliotConfig(scale=_scale(scale), seed=2002))
     costs = env.config.cost_model()
     drive = env.new_drive("cache-ab")
     run = TimedRun()
     run.add_job("dump", LogicalDump(env.home_fs, drive,
                                     dumpdates=DumpDates(), costs=costs).run())
     run.run()
-    for cache_blocks in (64, 1024, 16384):
-        target = WaflFilesystem.format(env.fresh_home_volume(),
-                                       nvram=NvramLog(),
-                                       cache_blocks=cache_blocks)
-        run = TimedRun()
-        run.add_job("restore", LogicalRestore(target, drive,
-                                              costs=costs).run())
-        result = run.run()["restore"]
-        cold_reads = sum(
-            op.nblocks for op in run._jobs[0].ops
-            if isinstance(op, DiskReadOp)
-        )
-        table.add("cache=%d blocks cold metadata reads" % cache_blocks,
-                  cold_reads)
-        table.add("cache=%d blocks hit rate" % cache_blocks,
-                  target.volume.cache.hit_rate, unit="%")
-        table.add("cache=%d blocks restore elapsed" % cache_blocks,
-                  result.elapsed, unit="s")
-    return table
+
+    target = WaflFilesystem.format(env.fresh_home_volume(),
+                                   nvram=NvramLog(),
+                                   cache_blocks=cache_blocks)
+    run = TimedRun()
+    run.add_job("restore", LogicalRestore(target, drive, costs=costs).run())
+    result = run.run()["restore"]
+    cold_reads = sum(
+        op.nblocks for op in run._jobs[0].ops
+        if isinstance(op, DiskReadOp)
+    )
+    return [
+        ("cache=%d blocks cold metadata reads" % cache_blocks,
+         cold_reads, None, "", ""),
+        ("cache=%d blocks hit rate" % cache_blocks,
+         target.volume.cache.hit_rate, None, "%", ""),
+        ("cache=%d blocks restore elapsed" % cache_blocks,
+         result.elapsed, None, "s", ""),
+    ]
+
+
+def cpu_point(cpus: int, scale: Optional[int] = None) -> List[RowTuple]:
+    """4-drive logical dump at one CPU count (Section 5.3)."""
+    from repro.backup.jobs import parallel_logical_dump
+
+    env = build_home_env(EliotConfig(scale=_scale(scale), qtrees=4))
+    costs = env.config.cost_model()
+    profile = HardwareProfile(cpu_count=cpus)
+    run = TimedRun(profile)
+    results = parallel_logical_dump(
+        run, env.home_fs, env.qtree_paths, env.new_drives(4),
+        dumpdates=DumpDates(), costs=costs,
+    )
+    run.run()
+    stages = [r.stages[STAGE_FILES] for r in results.values()]
+    start = min(s.start for s in stages)
+    end = max(s.end for s in stages)
+    tape = sum(s.tape_bytes for s in stages)
+    return [("cpus=%d logical files MB/s (4 drives)" % cpus,
+             tape / 1e6 / (end - start), None, "", "")]
+
+
+# ---------------------------------------------------------------------------
+# Sweep registry — what the evaluation plane fans out
+# ---------------------------------------------------------------------------
+
+class AblationSweep:
+    """One named sweep: a point function plus its coordinate list."""
+
+    __slots__ = ("key", "title", "point_fn", "points")
+
+    def __init__(self, key: str, title: str, point_fn, points: List[Tuple]):
+        self.key = key
+        self.title = title
+        self.point_fn = point_fn
+        self.points = list(points)
+
+    def point_name(self, args: Tuple) -> str:
+        """Task name for one coordinate, e.g. ``ablation.cache[1024]``."""
+        inner = ",".join(repr(a) for a in args)
+        return "ablation.%s[%s]" % (self.key, inner)
+
+    def table(self, scale: Optional[int] = None) -> Table:
+        """Run every point serially and assemble the classic table."""
+        table = Table(self.title)
+        for args in self.points:
+            for row in self.point_fn(*args, scale=scale):
+                table.add(*row)
+        return table
+
+
+SWEEPS: List[AblationSweep] = [
+    AblationSweep(
+        "fragmentation",
+        "Ablation — fragmentation (aging rounds) vs. dump rate",
+        fragmentation_point, [(0,), (1,), (3,)],
+    ),
+    AblationSweep(
+        "nvram",
+        "Ablation — logical restore through vs. bypassing NVRAM",
+        nvram_point, [(False,), (True,)],
+    ),
+    AblationSweep(
+        "readahead",
+        "Ablation — dump read-ahead window vs. file-stage rate",
+        readahead_point, [(1,), (2,), (None,)],
+    ),
+    AblationSweep(
+        "cache",
+        "Ablation — buffer cache size vs. cold metadata reads",
+        cache_point, [(64,), (1024,), (16384,)],
+    ),
+    AblationSweep(
+        "cpu",
+        "Ablation — CPU count vs. 4-drive logical dump rate",
+        cpu_point, [(1,), (2,)],
+    ),
+]
+
+_SWEEPS_BY_KEY = {sweep.key: sweep for sweep in SWEEPS}
+
+
+def sweep(key: str) -> AblationSweep:
+    return _SWEEPS_BY_KEY[key]
+
+
+# ---------------------------------------------------------------------------
+# Serial wrappers (the classic entry points)
+# ---------------------------------------------------------------------------
+
+def ablate_fragmentation() -> Table:
+    """Aging sweep: who pays for a mature file system?"""
+    return sweep("fragmentation").table()
+
+
+def ablate_nvram_bypass() -> Table:
+    """Footnote 2: logical restore with and without the NVRAM logging cost."""
+    return sweep("nvram").table()
+
+
+def ablate_readahead() -> Table:
+    """Dump's read-ahead window: 1 (serialized) vs. the default."""
+    return sweep("readahead").table()
+
+
+def ablate_cache_size() -> Table:
+    """Buffer cache: cold metadata reads during logical restore."""
+    return sweep("cache").table()
 
 
 def ablate_cpu_speed() -> Table:
     """A faster CPU helps logical far more than physical (Section 5.3)."""
-    table = Table("Ablation — CPU count vs. 4-drive logical dump rate")
-    from repro.backup.jobs import parallel_logical_dump
-
-    env = build_home_env(EliotConfig(scale=ABLATION_SCALE, qtrees=4))
-    costs = env.config.cost_model()
-    for cpus in (1, 2):
-        profile = HardwareProfile(cpu_count=cpus)
-        run = TimedRun(profile)
-        results = parallel_logical_dump(
-            run, env.home_fs, env.qtree_paths, env.new_drives(4),
-            dumpdates=DumpDates(), costs=costs,
-        )
-        run.run()
-        stages = [r.stages[STAGE_FILES] for r in results.values()]
-        start = min(s.start for s in stages)
-        end = max(s.end for s in stages)
-        tape = sum(s.tape_bytes for s in stages)
-        table.add("cpus=%d logical files MB/s (4 drives)" % cpus,
-                  tape / 1e6 / (end - start))
-    return table
+    return sweep("cpu").table()
 
 
 __all__ = [
+    "ABLATION_SCALE",
+    "AblationSweep",
+    "SWEEPS",
     "ablate_cache_size",
     "ablate_cpu_speed",
     "ablate_fragmentation",
     "ablate_nvram_bypass",
     "ablate_readahead",
+    "cache_point",
+    "cpu_point",
+    "fragmentation_point",
+    "nvram_point",
+    "readahead_point",
+    "sweep",
 ]

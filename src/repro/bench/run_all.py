@@ -2,26 +2,30 @@
 
 Usage::
 
-    python -m repro.bench.run_all [output-path]
+    python -m repro.bench.run_all [output-path] [--jobs N] [--reduced]
 
 Runs Tables 1-5, the concurrent-volume experiment, and every ablation at
 the default 1:1000 scale, then writes the paper-vs-measured record.  The
-full run takes a few minutes.
+full run takes a few minutes serially; ``--jobs N`` fans the sections
+and every ablation point out across worker processes via
+:mod:`repro.parallel` and reassembles the results in declaration order,
+so the written file is byte-identical regardless of worker count.
+
+``--reduced`` runs only the small Tables 1-3 grid at a tiny scale (the
+CI smoke configuration); ``--check-determinism`` generates the reduced
+grid both serially and with the requested ``--jobs`` and fails if the
+two bodies differ by a single byte.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
+from typing import Dict, List, Optional, Tuple
 
-from repro.bench.ablations import (
-    ablate_cache_size,
-    ablate_cpu_speed,
-    ablate_fragmentation,
-    ablate_nvram_bypass,
-    ablate_readahead,
-)
-from repro.bench.configs import DEFAULT_SCALE, build_home_env
+from repro.bench.ablations import SWEEPS
+from repro.bench.configs import DEFAULT_SCALE, EliotConfig, build_home_env
 from repro.bench.harness import (
     run_concurrent_volumes,
     run_table1,
@@ -29,7 +33,19 @@ from repro.bench.harness import (
     run_table3,
     run_table45,
 )
-from repro.bench.report import format_table, to_markdown
+from repro.bench.report import Table, format_table, to_markdown
+from repro.parallel import TaskPool, TaskSpec
+
+#: The --reduced grid: the Tables 1-3 testbed shrunk to the tier-1 test
+#: size (~12 MB home volume) so CI can run it serially and in parallel.
+REDUCED_SCALE = 16000
+REDUCED_AGING_ROUNDS = 1
+#: Ablation points in the reduced grid run at this scale (~8 MB); the
+#: grid needs enough independent tasks for the parallel speedup to show.
+REDUCED_ABLATION_SCALE = 24000
+#: The ablation sweeps the reduced grid includes (single-env sweeps only;
+#: fragmentation and cpu rebuild larger testbeds and stay full-run-only).
+REDUCED_SWEEPS = ("nvram", "readahead", "cache")
 
 _HEADER = """# EXPERIMENTS — paper vs. measured
 
@@ -38,7 +54,9 @@ Backup* (Hutchinson et al., OSDI 1999).  Regenerate with::
 
     python -m repro.bench.run_all
 
-or run the same experiments as assertions with::
+(add ``--jobs N`` to fan the experiments out across N worker processes;
+the deterministic merge makes the output byte-identical to a serial
+run) or run the same experiments as assertions with::
 
     pytest benchmarks/ --benchmark-only
 
@@ -74,68 +92,215 @@ or run the same experiments as assertions with::
 
 Simulated device time is host-independent, but the simulator's own speed
 is tracked separately: ``python -m repro.bench.wallclock`` times the
-data-plane hot paths (bulk RAID I/O, the block cache, the dump-stream
-codec, the event kernel) and the end-to-end basic experiment, normalizes
-every timing by a fixed calibration workload so machines cancel out, and
-compares against the committed ``BENCH_wallclock.json`` baseline.
-Regenerate the baseline with ``--mode full --write-baseline``; CI runs
-the smoke mode and fails on a >20%% calibration-normalized regression.
+data-plane hot paths (bulk RAID I/O, the block cache, the block-map
+kernels, the dump-stream codec, the event kernel) and the end-to-end
+basic experiment, normalizes every timing by a fixed calibration
+workload so machines cancel out, and compares against the committed
+``BENCH_wallclock.json`` baseline.  Regenerate the baseline with
+``--mode full --write-baseline``; CI runs the smoke mode and fails on a
+>20%% calibration-normalized regression.
 
 """
 
+_FOOTER = ("\n---\nSimulated device time is independent of host speed;"
+           " wall-clock regeneration time depends only on the machine and"
+           " `--jobs`.\n")
 
-def main(output_path: str = "EXPERIMENTS.md") -> None:
-    started = time.time()
-    sections = []
 
-    def record(table, note: str = ""):
-        print(format_table(table))
-        block = to_markdown(table)
-        if note:
-            block += "\n" + note + "\n"
+# ---------------------------------------------------------------------------
+# Section task functions — module-level so they pickle into workers
+# ---------------------------------------------------------------------------
+
+def _grid_config(reduced: bool, **overrides) -> Optional[EliotConfig]:
+    """The Tables 2/3 testbed config (None = the default full scale)."""
+    if not reduced and not overrides:
+        return None
+    if reduced:
+        overrides.setdefault("scale", REDUCED_SCALE)
+        overrides.setdefault("aging_rounds", REDUCED_AGING_ROUNDS)
+    return EliotConfig(**overrides)
+
+
+def section_table1() -> Table:
+    table, _checks = run_table1()
+    return table
+
+
+def section_table2(reduced: bool = False) -> Table:
+    env = build_home_env(_grid_config(reduced))
+    return run_table2(env)
+
+
+def section_table3(reduced: bool = False) -> Table:
+    env = build_home_env(_grid_config(reduced))
+    return run_table3(env)
+
+
+def section_table45(ndrives: int) -> Table:
+    return run_table45(ndrives)
+
+
+def section_concurrent() -> Table:
+    return run_concurrent_volumes()
+
+
+def section_ablation_point(key: str, args: Tuple,
+                           scale: Optional[int] = None) -> List[Tuple]:
+    from repro.bench.ablations import sweep
+
+    return sweep(key).point_fn(*args, scale=scale)
+
+
+# ---------------------------------------------------------------------------
+# Plan: declaration-ordered sections, merged back into one document
+# ---------------------------------------------------------------------------
+
+class _Item:
+    """One plan entry: a task spec plus how its result renders."""
+
+    __slots__ = ("spec", "kind", "note", "sweep_key", "sweep_title")
+
+    def __init__(self, spec: TaskSpec, kind: str = "table", note: str = "",
+                 sweep_key: str = "", sweep_title: str = ""):
+        self.spec = spec
+        self.kind = kind
+        self.note = note
+        self.sweep_key = sweep_key
+        self.sweep_title = sweep_title
+
+
+def build_plan(reduced: bool = False) -> List[_Item]:
+    """Every experiment as an independent task, in document order."""
+    items = [
+        _Item(TaskSpec("table1", section_table1),
+              note="Counts are model-scale blocks; the invariant (incremental"
+                   " = 'newly written' set) is exact at any scale."),
+        _Item(TaskSpec("table2", section_table2, (reduced,))),
+        _Item(TaskSpec("table3", section_table3, (reduced,))),
+    ]
+    if not reduced:
+        items.extend([
+            _Item(TaskSpec("table4.2-drives", section_table45, (2,))),
+            _Item(TaskSpec("table5.4-drives", section_table45, (4,))),
+            _Item(TaskSpec("concurrent-volumes", section_concurrent)),
+        ])
+    ablation_scale = REDUCED_ABLATION_SCALE if reduced else None
+    for sweep in SWEEPS:
+        if reduced and sweep.key not in REDUCED_SWEEPS:
+            continue
+        for args in sweep.points:
+            items.append(_Item(
+                TaskSpec(sweep.point_name(args), section_ablation_point,
+                         (sweep.key, args, ablation_scale)),
+                kind="ablation", sweep_key=sweep.key,
+                sweep_title=sweep.title,
+            ))
+    return items
+
+
+def merge_sections(items: List[_Item], values: List[object],
+                   echo=print) -> str:
+    """Reassemble task results — in declaration order — into the document
+    body.  Ablation points regroup into their sweep's table; every table
+    is also echoed to the console."""
+    sections: List[str] = []
+    ablations_started = False
+    open_table: Optional[Table] = None
+    open_key = ""
+
+    def flush_sweep():
+        nonlocal open_table
+        if open_table is not None:
+            echo(format_table(open_table))
+            sections.append(to_markdown(open_table))
+            open_table = None
+
+    for item, value in zip(items, values):
+        if item.kind == "ablation":
+            if not ablations_started:
+                sections.append("## Ablations\n")
+                ablations_started = True
+            if open_table is None or open_key != item.sweep_key:
+                flush_sweep()
+                open_table = Table(item.sweep_title)
+                open_key = item.sweep_key
+            for row in value:
+                open_table.add(*row)
+            continue
+        flush_sweep()
+        echo(format_table(value))
+        block = to_markdown(value)
+        if item.note:
+            block += "\n" + item.note + "\n"
         sections.append(block)
+    flush_sweep()
+    return "\n".join(sections)
 
-    print("Table 1 ...")
-    table1, _checks = run_table1()
-    record(table1, "Counts are model-scale blocks; the invariant (incremental"
-                   " = 'newly written' set) is exact at any scale.")
 
-    print("Building the scaled testbed ...")
-    env = build_home_env()
-    frag = env.fragmentation
-    print("fragmentation after aging: %.1f blocks/extent" %
-          frag["mean_extent_blocks"])
+def generate_body(jobs: int = 1, reduced: bool = False,
+                  echo=print) -> str:
+    """Run the plan and return the full EXPERIMENTS.md body."""
+    items = build_plan(reduced=reduced)
+    pool = TaskPool(jobs)
+    echo("running %d experiment task(s) with jobs=%d%s ..."
+         % (len(items), jobs, " (reduced grid)" if reduced else ""))
 
-    print("Table 2 ...")
-    record(run_table2(env))
-    print("Table 3 ...")
-    record(run_table3(env))
-    print("Table 4 (2 drives) ...")
-    record(run_table45(2))
-    print("Table 5 (4 drives) ...")
-    record(run_table45(4))
-    print("Concurrent volumes ...")
-    record(run_concurrent_volumes())
+    def progress(event):
+        echo(event.describe())
 
-    sections.append("## Ablations\n")
-    for name, fn in [
-        ("fragmentation", ablate_fragmentation),
-        ("nvram", ablate_nvram_bypass),
-        ("readahead", ablate_readahead),
-        ("cache", ablate_cache_size),
-        ("cpu", ablate_cpu_speed),
-    ]:
-        print("Ablation: %s ..." % name)
-        record(fn())
+    values = pool.map_values([item.spec for item in items], progress)
+    body = _HEADER % {"scale": REDUCED_SCALE if reduced else DEFAULT_SCALE}
+    body += merge_sections(items, values, echo=echo)
+    body += _FOOTER
+    return body
 
-    body = _HEADER % {"scale": DEFAULT_SCALE} + "\n".join(sections)
-    body += ("\n---\nGenerated in %.0f s of wall-clock time (simulated"
-             " device time is independent of host speed).\n"
-             % (time.time() - started))
-    with open(output_path, "w") as handle:
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.run_all",
+        description="Regenerate EXPERIMENTS.md (optionally in parallel).",
+    )
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md",
+                        help="output path (default: EXPERIMENTS.md)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = in-process)")
+    parser.add_argument("--reduced", action="store_true",
+                        help="small Tables 1-3 grid only (CI smoke)")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="also generate serially and require the bodies"
+                             " to match byte-for-byte")
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    body = generate_body(jobs=args.jobs, reduced=args.reduced)
+
+    if args.check_determinism:
+        print("re-running serially for the determinism check ...")
+        serial_body = generate_body(jobs=1, reduced=args.reduced,
+                                    echo=lambda *_a, **_k: None)
+        if serial_body != body:
+            print("DETERMINISM FAILURE: --jobs %d body differs from serial"
+                  % args.jobs)
+            return 1
+        print("determinism check passed: --jobs %d output is byte-identical"
+              " to serial" % args.jobs)
+
+    with open(args.output, "w") as handle:
         handle.write(body)
-    print("\nwrote %s" % output_path)
+    print("\nwrote %s in %.0f s of wall-clock time"
+          % (args.output, time.time() - started))
+    return 0
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md")
+    sys.exit(main())
+
+
+__all__ = [
+    "REDUCED_AGING_ROUNDS",
+    "REDUCED_SCALE",
+    "build_plan",
+    "generate_body",
+    "main",
+    "merge_sections",
+]

@@ -168,6 +168,58 @@ def bench_dump_stream() -> Dict[str, float]:
     return {"seconds": seconds, "rate": moved / MB / seconds, "unit": "MB/s"}
 
 
+def bench_blockmap() -> Dict[str, float]:
+    """Block-map churn: batched frees, deferred-reuse commits, span builds.
+
+    Models a consistency-point-heavy workload on a fragmented volume: every
+    round allocates a striped working set, frees alternating halves with
+    ``free_active_many`` (one half deferred), commits the deferred reuse,
+    then builds incremental read spans from the fragmented active plane.
+    """
+    import numpy as np
+
+    from repro.backup.physical.incremental import (
+        coalesce_block_array,
+        spans_with_readthrough,
+    )
+    from repro.wafl.blockmap import BlockMap
+
+    nblocks = 48_000
+    blockmap = BlockMap(nblocks, reserved=64)
+    rng = np.random.RandomState(4242)
+
+    ops = 0
+    start = time.perf_counter()
+    for rep in range(6):
+        allocated: List[int] = []
+        cursor = blockmap.reserved
+        while len(allocated) < 24_000:
+            run_start, count = blockmap.allocate_run(256, cursor)
+            allocated.extend(range(run_start, run_start + count))
+            cursor = run_start + count
+        arr = np.asarray(allocated, dtype=np.int64)
+        # Fragment: free a pseudo-random third immediately and a third
+        # deferred; the surviving third leaves a shredded active plane
+        # for the span build below.
+        lot = rng.rand(arr.size)
+        blockmap.free_active_many(arr[lot < 0.34], defer_reuse=False)
+        blockmap.free_active_many(arr[(lot >= 0.34) & (lot < 0.67)],
+                                  defer_reuse=True)
+        ops += arr.size
+        ops += blockmap.commit_deferred_reuse()
+        runs = coalesce_block_array(blockmap.plane_blocks(0), max_run=64)
+        spans = spans_with_readthrough(runs, gap_threshold=32, max_span=1024)
+        ops += len(spans)
+        # Drain the map so the next round starts clean.
+        remaining = blockmap.plane_blocks(0)
+        if remaining.size:
+            blockmap.free_active_many(remaining)
+            blockmap.commit_deferred_reuse()
+            ops += int(remaining.size)
+    seconds = time.perf_counter() - start
+    return {"seconds": seconds, "rate": ops / seconds, "unit": "block-ops/s"}
+
+
 def bench_sim_kernel() -> Dict[str, float]:
     """Timeout / Resource / Store hot paths of the event kernel."""
     from repro.sim.core import Simulation
@@ -205,6 +257,7 @@ def bench_sim_kernel() -> Dict[str, float]:
 MICRO_BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
     "micro.volume_io": bench_volume_io,
     "micro.block_cache": bench_block_cache,
+    "micro.blockmap": bench_blockmap,
     "micro.dump_stream": bench_dump_stream,
     "micro.sim_kernel": bench_sim_kernel,
 }
@@ -266,6 +319,29 @@ def bench_macro(mode: str, repeats: Optional[int] = None) -> Dict[str, Dict[str,
 
 
 # ---------------------------------------------------------------------------
+# Parallel evaluation plane: the reduced run_all grid end to end
+# ---------------------------------------------------------------------------
+
+def bench_parallel_run_all(jobs: int = 1) -> Dict[str, float]:
+    """Generate the reduced ``run_all`` grid with the given worker count.
+
+    The environment cache is cleared first so the serial and parallel
+    timings both start cold (serial reuse of cached environments would
+    otherwise make the comparison meaningless).
+    """
+    from repro.bench.configs import clear_env_cache
+    from repro.bench.run_all import build_plan, generate_body
+
+    clear_env_cache()
+    silent = lambda *_args, **_kwargs: None  # noqa: E731
+    start = time.perf_counter()
+    generate_body(jobs=jobs, reduced=True, echo=silent)
+    seconds = time.perf_counter() - start
+    ntasks = len(build_plan(reduced=True))
+    return {"seconds": seconds, "rate": ntasks / seconds, "unit": "tasks/s"}
+
+
+# ---------------------------------------------------------------------------
 # Harness driver
 # ---------------------------------------------------------------------------
 
@@ -296,6 +372,8 @@ def run_harness(mode: str = "smoke", quiet: bool = True) -> Dict:
         report["benchmarks"][name] = min(
             (bench() for _ in range(3)), key=lambda entry: entry["seconds"]
         )
+    note("running parallel.run_all_smoke ...")
+    report["benchmarks"]["parallel.run_all_smoke"] = bench_parallel_run_all(1)
     macro_modes = ["smoke"] if mode == "smoke" else ["smoke", "full"]
     for macro_mode in macro_modes:
         note("running macro (%s) ..." % macro_mode)
@@ -342,7 +420,7 @@ def format_report(report: Dict) -> str:
         rate = ""
         if "rate" in entry:
             rate = "  %10.1f %s" % (entry["rate"], entry.get("unit", ""))
-        lines.append("  %-24s %8.3fs%s" % (name, entry["seconds"], rate))
+        lines.append("  %-26s %8.3fs%s" % (name, entry["seconds"], rate))
     return "\n".join(lines)
 
 
@@ -363,11 +441,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="allowed normalized slowdown (0.2 = 20%%)")
     parser.add_argument("--output", default=None,
                         help="also write the report JSON to this path")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="also time parallel.run_all_smoke at this worker"
+                             " count and report the speedup over --jobs 1")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="with --jobs N: exit 1 unless the parallel grid"
+                             " is at least this many times faster than serial")
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or default_baseline_path()
     report = run_harness(mode=args.mode, quiet=False)
+    if args.jobs > 1:
+        print("running parallel.run_all_smoke with --jobs %d ..." % args.jobs,
+              file=sys.stderr)
+        entry = bench_parallel_run_all(args.jobs)
+        serial_entry = report["benchmarks"]["parallel.run_all_smoke"]
+        entry["speedup"] = serial_entry["seconds"] / entry["seconds"]
+        report["benchmarks"]["parallel.run_all_smoke.j%d" % args.jobs] = entry
     print(format_report(report))
+    if args.jobs > 1:
+        speedup = report["benchmarks"][
+            "parallel.run_all_smoke.j%d" % args.jobs]["speedup"]
+        print("parallel.run_all_smoke speedup at --jobs %d: %.2fx"
+              % (args.jobs, speedup))
+        if args.min_speedup is not None and speedup < args.min_speedup:
+            print("speedup below required %.2fx" % args.min_speedup)
+            return 1
 
     if args.output:
         with open(args.output, "w") as handle:
@@ -401,6 +500,7 @@ if __name__ == "__main__":
 
 __all__ = [
     "BASELINE_NAME",
+    "bench_parallel_run_all",
     "calibrate",
     "check_regression",
     "default_baseline_path",

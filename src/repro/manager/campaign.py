@@ -17,6 +17,7 @@ the tape itself.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CatalogError, IncrementalError
@@ -34,6 +35,63 @@ from repro.wafl.filesystem import WaflFilesystem
 from repro.workload.mutate import MutationConfig, apply_mutations
 
 DAILY_SNAPSHOT = "day.%d"
+
+
+def _volume_day_task(
+    fs,
+    tree,
+    strategy: str,
+    subtree: str,
+    level: int,
+    drive,
+    job_name: str,
+    snapshot_name: Optional[str],
+    base_snapshot: Optional[str],
+    mutation: Optional[MutationConfig],
+    daily_snapshot: Optional[str],
+    dumpdates,
+    costs: Optional[CostModel],
+    profile: Optional[HardwareProfile],
+):
+    """One volume's whole day, run in a worker process.
+
+    Ages the (pickled copy of the) volume, dumps it in its own
+    :class:`TimedRun`, and ships the mutated file system, tree, and drive
+    back so the parent can rebind them and commit the catalog in
+    declaration order.  Mutation seeds are fixed per (day, volume index),
+    so the resulting bytes/files/blocks are identical to a serial day;
+    only the *timings* differ, because each volume gets its own CPU and
+    disk channels ("independent filers") instead of contending in one
+    shared run.
+    """
+    if mutation is not None:
+        apply_mutations(fs, tree, mutation)
+    if daily_snapshot is not None:
+        fs.snapshot_create(daily_snapshot)
+    run = TimedRun(profile)
+    engine = build_dump_engine(
+        fs, drive, strategy, level=level, subtree=subtree,
+        dumpdates=dumpdates, snapshot_name=snapshot_name,
+        base_snapshot=base_snapshot, costs=costs,
+    )
+    job = run.add_job(job_name, engine)
+    run.run()
+    data = job.data
+    if strategy == STRATEGY_LOGICAL:
+        date = data.date
+    else:
+        record = fs.fsinfo.find_snapshot(snapshot_name)
+        date = record.created if record else 0
+    payload = {
+        "name": job_name,
+        "date": date,
+        "start": job.start,
+        "end": job.end,
+        "bytes_to_tape": data.bytes_to_tape,
+        "files": data.files,
+        "blocks": data.blocks,
+    }
+    return fs, tree, drive, payload
 
 
 class CampaignVolume:
@@ -85,6 +143,7 @@ class CampaignDriver:
         mutations: Optional[MutationConfig] = None,
         keep_daily_snapshots: bool = False,
         seed: int = 1234,
+        jobs: int = 1,
     ):
         self.catalog = catalog
         self.pool = pool
@@ -93,6 +152,7 @@ class CampaignDriver:
         self.mutations = mutations or MutationConfig()
         self.keep_daily_snapshots = keep_daily_snapshots
         self.seed = seed
+        self.jobs = jobs
         self.volumes: List[CampaignVolume] = []
         self.day = 0
 
@@ -130,7 +190,16 @@ class CampaignDriver:
         return level
 
     def run_day(self) -> Dict[str, object]:
-        """Age every volume, dump them concurrently, record the sets."""
+        """Age every volume, dump them concurrently, record the sets.
+
+        With ``jobs > 1`` each volume's aging and dump runs in its own
+        worker process (its own ``TimedRun`` — the "independent filers"
+        model: bytes, files, and blocks match a serial day exactly, but
+        per-dump timings no longer reflect shared-CPU/disk contention).
+        The catalog commit stays ordered and single-writer in the parent.
+        """
+        if self.jobs > 1 and len(self.volumes) > 1:
+            return self._run_day_parallel()
         day = self.day
         if day > 0:
             for index, volume in enumerate(self.volumes):
@@ -186,6 +255,72 @@ class CampaignDriver:
             if volume.strategy == STRATEGY_IMAGE:
                 volume.supersede_snapshots(level, snapshot_name, date)
             results[job.name] = (backup_set, job)
+        self.catalog.save()
+        self.day += 1
+        return results
+
+    def _run_day_parallel(self) -> Dict[str, object]:
+        """Fan the day's volumes out over a :class:`TaskPool`.
+
+        Workers receive pickled copies of the volume state and disjoint
+        slices of the scratch media (:meth:`MediaPool.partitioned_drives`);
+        the parent merges in declaration order — rebinding each volume's
+        mutated file system and tree, adopting the written cartridges,
+        and committing catalog records one at a time — so set IDs,
+        dumpdates, and media allocation come out exactly as a serial day
+        would produce them.
+        """
+        from repro.parallel import TaskPool, TaskSpec
+
+        day = self.day
+        names = ["%s.d%02d" % (volume.fsid, day) for volume in self.volumes]
+        drives = self.pool.partitioned_drives(names)
+        specs = []
+        staged = []
+        for index, (volume, drive) in enumerate(zip(self.volumes, drives)):
+            level = self._effective_level(
+                volume, volume.schedule.level_for(day))
+            snapshot_name = None
+            base_snapshot = None
+            if volume.strategy == STRATEGY_IMAGE:
+                snapshot_name = "img.%s.d%d" % (volume.fsid, day)
+                if level > 0:
+                    base_snapshot = volume.base_snapshot_for(level)
+            specs.append(TaskSpec(names[index], _volume_day_task, (
+                volume.fs, volume.tree, volume.strategy, volume.subtree,
+                level, drive, names[index], snapshot_name, base_snapshot,
+                self._mutation_config(day, index) if day > 0 else None,
+                DAILY_SNAPSHOT % day if self.keep_daily_snapshots else None,
+                (copy.deepcopy(self.catalog.dumpdates)
+                 if volume.strategy == STRATEGY_LOGICAL else None),
+                self.costs, self.profile,
+            )))
+            staged.append((volume, level, snapshot_name, base_snapshot))
+
+        values = TaskPool(self.jobs).map_values(specs)
+
+        results: Dict[str, object] = {}
+        for (volume, level, snapshot_name, base_snapshot), value in zip(
+                staged, values):
+            fs, tree, drive, payload = value
+            volume.fs = fs
+            volume.tree = tree
+            self.pool.adopt_cartridges(drive)
+            backup_set = self.catalog.record_set(
+                fsid=volume.fsid, subtree=volume.subtree,
+                strategy=volume.strategy, level=level, day=day,
+                date=payload["date"], snapshot=snapshot_name,
+                base_snapshot=base_snapshot,
+                start_time=payload["start"], end_time=payload["end"],
+                bytes_to_tape=payload["bytes_to_tape"],
+                files=payload["files"], blocks=payload["blocks"],
+                save=False,
+            )
+            self.pool.commit_job(drive, backup_set)
+            if volume.strategy == STRATEGY_IMAGE:
+                volume.supersede_snapshots(level, snapshot_name,
+                                           payload["date"])
+            results[payload["name"]] = (backup_set, payload)
         self.catalog.save()
         self.day += 1
         return results

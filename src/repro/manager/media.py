@@ -76,6 +76,41 @@ class MediaPool:
             raise TapeError("media pool has no scratch cartridges")
         return TapeDrive(TapeStacker(cartridges, name=name))
 
+    def partitioned_drives(self, names: List[str]) -> List[TapeDrive]:
+        """One drive per name over a *disjoint* round-robin split of the
+        free scratch media.
+
+        :meth:`drive_for_job` stacks every scratch cartridge into every
+        drive, which is safe serially only because each job writes before
+        the next drive is built.  Parallel jobs write to cartridge
+        *copies* in worker processes, so they must never share media:
+        each drive here owns its slice outright.
+        """
+        free = [self._cartridges[label]
+                for label in self.scratch_labels()
+                if not self._cartridges[label].used]
+        if len(free) < len(names):
+            raise TapeError(
+                "media pool has %d free scratch cartridges for %d"
+                " parallel jobs" % (len(free), len(names))
+            )
+        stacks: List[List[TapeCartridge]] = [[] for _ in names]
+        for index, cartridge in enumerate(free):
+            stacks[index % len(names)].append(cartridge)
+        return [TapeDrive(TapeStacker(stack, name=name))
+                for name, stack in zip(names, stacks)]
+
+    def adopt_cartridges(self, drive: TapeDrive) -> None:
+        """Adopt the cartridge copies a parallel job's drive came back
+        with, replacing the pool's stale originals, so
+        :meth:`commit_job` and later restores see the written bytes."""
+        for cartridge in drive.stacker.cartridges:
+            if cartridge.label not in self._cartridges:
+                raise CatalogError(
+                    "cartridge %r is not in the pool" % cartridge.label
+                )
+            self._cartridges[cartridge.label] = cartridge
+
     def commit_job(self, drive: TapeDrive, backup_set: BackupSet) -> List[str]:
         """Allocate the cartridges the job wrote to ``backup_set``.
 

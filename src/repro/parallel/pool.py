@@ -1,0 +1,304 @@
+"""Process-pool experiment runner with a deterministic merge.
+
+A :class:`TaskSpec` names a picklable builder function plus its
+arguments; a :class:`TaskPool` runs a list of specs — serially in-process
+for ``jobs=1`` (and on platforms without ``fork``), across a
+``ProcessPoolExecutor`` otherwise — and always returns results in
+**task-declaration order**.  Completion order and worker count therefore
+never leak into anything assembled from the results, which is what keeps
+``EXPERIMENTS.md`` byte-identical between ``--jobs 1`` and ``--jobs N``.
+
+Failure semantics:
+
+* a worker exception is captured with its full traceback text and the
+  task is retried once (``retries=1`` by default); a second failure
+  raises :class:`TaskError` in the caller, traceback included;
+* a per-task ``timeout`` arms ``SIGALRM`` inside the worker, so a wedged
+  task dies as a normal in-worker :class:`TaskTimeout` (and takes the
+  retry path) instead of hanging the whole run.
+
+Progress streams as workers finish: the pool invokes the caller's
+``progress`` callback with one :class:`TaskEvent` per completed attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class TaskError(ReproError):
+    """A task failed on every attempt; carries the worker traceback."""
+
+    def __init__(self, name: str, message: str, worker_traceback: str = ""):
+        super().__init__(message)
+        self.task_name = name
+        self.worker_traceback = worker_traceback
+
+
+class TaskTimeout(TaskError):
+    """A task exceeded its per-task timeout."""
+
+
+class TaskSpec:
+    """One unit of work: a top-level (picklable) function plus arguments.
+
+    ``fn`` must be importable by the worker process (a module-level
+    function), and its arguments and return value must pickle.
+    """
+
+    __slots__ = ("name", "fn", "args", "kwargs", "timeout", "retries")
+
+    def __init__(self, name: str, fn: Callable, args: Tuple = (),
+                 kwargs: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None, retries: int = 1):
+        if retries < 0:
+            raise ReproError("retries must be >= 0")
+        self.name = name
+        self.fn = fn
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs or {})
+        self.timeout = timeout
+        self.retries = retries
+
+    def __repr__(self) -> str:
+        return "<TaskSpec %s %s>" % (self.name, getattr(self.fn, "__name__", self.fn))
+
+
+class TaskResult:
+    """Outcome of one task, returned in declaration order."""
+
+    __slots__ = ("name", "value", "elapsed", "attempts", "pid")
+
+    def __init__(self, name: str, value: Any, elapsed: float,
+                 attempts: int, pid: int):
+        self.name = name
+        self.value = value
+        self.elapsed = elapsed
+        self.attempts = attempts
+        self.pid = pid
+
+
+class TaskEvent:
+    """One progress notification: a task attempt finished."""
+
+    __slots__ = ("name", "index", "done", "total", "elapsed", "ok",
+                 "attempt", "will_retry", "error")
+
+    def __init__(self, name: str, index: int, done: int, total: int,
+                 elapsed: float, ok: bool, attempt: int,
+                 will_retry: bool = False, error: str = ""):
+        self.name = name
+        self.index = index
+        self.done = done
+        self.total = total
+        self.elapsed = elapsed
+        self.ok = ok
+        self.attempt = attempt
+        self.will_retry = will_retry
+        self.error = error
+
+    def describe(self) -> str:
+        if self.ok:
+            return "[%d/%d] %s  %.1fs" % (self.done, self.total, self.name,
+                                          self.elapsed)
+        outcome = "retrying" if self.will_retry else "FAILED"
+        return "[%d/%d] %s  %s (attempt %d): %s" % (
+            self.done, self.total, self.name, outcome, self.attempt,
+            self.error.strip().splitlines()[-1] if self.error else "?",
+        )
+
+
+def fork_available() -> bool:
+    """Whether POSIX fork (and thus the process pool) is usable here."""
+    if not hasattr(os, "fork"):
+        return False
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False
+
+
+def _alarm_handler(signum, frame):
+    raise TaskTimeout("task", "task exceeded its timeout")
+
+
+def _invoke(spec: TaskSpec) -> Tuple[Any, float, int]:
+    """Run one spec in the current process, honoring its timeout."""
+    start = time.perf_counter()
+    use_alarm = spec.timeout is not None and hasattr(signal, "SIGALRM")
+    previous = None
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, spec.timeout)
+    try:
+        value = spec.fn(*spec.args, **spec.kwargs)
+    except TaskTimeout:
+        raise TaskTimeout(spec.name, "task %r exceeded its %.1fs timeout"
+                          % (spec.name, spec.timeout))
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return value, time.perf_counter() - start, os.getpid()
+
+
+def _worker(spec: TaskSpec) -> Tuple[str, Any, float, int, str]:
+    """Worker entry point: never raises, so tracebacks survive pickling.
+
+    Returns ``("ok", value, elapsed, pid, "")`` or
+    ``("timeout"|"error", summary, elapsed, pid, traceback_text)``.
+    """
+    start = time.perf_counter()
+    try:
+        value, elapsed, pid = _invoke(spec)
+        return ("ok", value, elapsed, pid, "")
+    except TaskTimeout as error:
+        return ("timeout", str(error), time.perf_counter() - start,
+                os.getpid(), traceback.format_exc())
+    except BaseException as error:  # noqa: BLE001 - must cross the pipe
+        return ("error", "%s: %s" % (type(error).__name__, error),
+                time.perf_counter() - start, os.getpid(),
+                traceback.format_exc())
+
+
+class TaskPool:
+    """Run task specs across worker processes; merge deterministically.
+
+    ``jobs=1`` (or no usable ``fork``) runs every spec in-process with the
+    same timeout/retry semantics, so the serial path exercises exactly the
+    code the parallel path does.
+    """
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ReproError("jobs must be >= 1")
+        self.jobs = jobs
+        self.parallel = jobs > 1 and fork_available()
+
+    # -- serial path ------------------------------------------------------
+
+    def _run_serial(self, specs: List[TaskSpec],
+                    progress: Optional[Callable[[TaskEvent], None]]) -> List[TaskResult]:
+        results: List[TaskResult] = []
+        done = 0
+        for index, spec in enumerate(specs):
+            attempts = 0
+            while True:
+                attempts += 1
+                outcome = _worker(spec)
+                status, value, elapsed, pid, tb_text = outcome
+                ok = status == "ok"
+                will_retry = not ok and attempts <= spec.retries
+                if ok:
+                    done += 1
+                if progress is not None:
+                    progress(TaskEvent(spec.name, index, done, len(specs),
+                                       elapsed, ok, attempts, will_retry,
+                                       "" if ok else value))
+                if ok:
+                    results.append(TaskResult(spec.name, value, elapsed,
+                                              attempts, pid))
+                    break
+                if not will_retry:
+                    klass = TaskTimeout if status == "timeout" else TaskError
+                    raise klass(spec.name,
+                                "task %r failed after %d attempt(s): %s"
+                                % (spec.name, attempts, value), tb_text)
+        return results
+
+    # -- parallel path ----------------------------------------------------
+
+    def _run_parallel(self, specs: List[TaskSpec],
+                      progress: Optional[Callable[[TaskEvent], None]]) -> List[TaskResult]:
+        import multiprocessing
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+        context = multiprocessing.get_context("fork")
+        slots: Dict[int, TaskResult] = {}
+        attempts = [0] * len(specs)
+        done = 0
+        failure: Optional[TaskError] = None
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs)) or 1,
+                                 mp_context=context) as executor:
+            pending = {executor.submit(_worker, spec): index
+                       for index, spec in enumerate(specs)}
+            for index in pending.values():
+                attempts[index] += 1
+            while pending:
+                ready, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in ready:
+                    index = pending.pop(future)
+                    spec = specs[index]
+                    error = future.exception()
+                    if error is not None:
+                        # The payload itself failed to cross the pipe
+                        # (unpicklable return, dead worker): treat it like
+                        # an in-worker error.
+                        outcome = ("error", "%s: %s"
+                                   % (type(error).__name__, error),
+                                   0.0, 0, "")
+                    else:
+                        outcome = future.result()
+                    status, value, elapsed, pid, tb_text = outcome
+                    ok = status == "ok"
+                    will_retry = (not ok
+                                  and attempts[index] <= spec.retries
+                                  and failure is None)
+                    if ok:
+                        done += 1
+                    if progress is not None:
+                        progress(TaskEvent(spec.name, index, done, len(specs),
+                                           elapsed, ok, attempts[index],
+                                           will_retry, "" if ok else value))
+                    if ok:
+                        slots[index] = TaskResult(spec.name, value, elapsed,
+                                                  attempts[index], pid)
+                    elif will_retry:
+                        attempts[index] += 1
+                        pending[executor.submit(_worker, spec)] = index
+                    elif failure is None:
+                        klass = (TaskTimeout if status == "timeout"
+                                 else TaskError)
+                        failure = klass(
+                            spec.name, "task %r failed after %d attempt(s): %s"
+                            % (spec.name, attempts[index], value), tb_text)
+        if failure is not None:
+            raise failure
+        # Deterministic merge: declaration order, not completion order.
+        return [slots[index] for index in range(len(specs))]
+
+    # -- entry point ------------------------------------------------------
+
+    def run(self, specs: List[TaskSpec],
+            progress: Optional[Callable[[TaskEvent], None]] = None) -> List[TaskResult]:
+        """Run every spec; results come back in declaration order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if not self.parallel:
+            return self._run_serial(specs, progress)
+        return self._run_parallel(specs, progress)
+
+    def map_values(self, specs: List[TaskSpec],
+                   progress: Optional[Callable[[TaskEvent], None]] = None) -> List[Any]:
+        """``run`` but returning just the task values, in order."""
+        return [result.value for result in self.run(specs, progress)]
+
+
+__all__ = [
+    "TaskError",
+    "TaskEvent",
+    "TaskPool",
+    "TaskResult",
+    "TaskSpec",
+    "TaskTimeout",
+    "fork_available",
+]

@@ -41,6 +41,12 @@ class TreeContext:
     def free_block(self, vbn: int) -> None:
         raise FilesystemError("read-only context cannot free")
 
+    def free_blocks(self, vbns: List[int]) -> None:
+        """Free a batch of blocks; contexts with a vectorized free path
+        (the active file system's block map) override this."""
+        for vbn in vbns:
+            self.free_block(vbn)
+
     def allows_inplace(self, vbn: int) -> bool:
         """Whether ``vbn`` may be rewritten in place.
 
@@ -238,10 +244,12 @@ class BlockTree:
         """Free every file block at or beyond ``keep_blocks``."""
         if self.ctx.readonly:
             raise FilesystemError("write through a read-only tree")
+        doomed = []
         for fbn, vbn in list(self.allocated_fblocks()):
             if fbn >= keep_blocks:
                 self._set_pointer(fbn, 0)
-                self.ctx.free_block(vbn)
+                doomed.append(vbn)
+        self.ctx.free_blocks(doomed)
 
     # -- enumeration ------------------------------------------------------------------
 
@@ -299,10 +307,9 @@ class BlockTree:
         """Free every data and indirect block (file deletion)."""
         if self.ctx.readonly:
             raise FilesystemError("write through a read-only tree")
-        for _fbn, vbn in self.allocated_fblocks():
-            self.ctx.free_block(vbn)
-        for vbn in self.metadata_blocks():
-            self.ctx.free_block(vbn)
+        doomed = [vbn for _fbn, vbn in self.allocated_fblocks()]
+        doomed.extend(self.metadata_blocks())
+        self.ctx.free_blocks(doomed)
         inode = self.inode
         inode.direct = [0] * NDIRECT
         inode.indirect = 0

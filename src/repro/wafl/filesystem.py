@@ -89,6 +89,17 @@ class _ActiveContext(TreeContext):
             # on-disk tree still references it.
             fs.blockmap.free_active(vbn, defer_reuse=True)
 
+    def free_blocks(self, vbns) -> None:
+        """Batched free: one vectorized block-map pass per disposition."""
+        fs = self.fs
+        fresh = [vbn for vbn in vbns if vbn in fs._fresh_blocks]
+        committed = [vbn for vbn in vbns if vbn not in fs._fresh_blocks]
+        if fresh:
+            fs._fresh_blocks.difference_update(fresh)
+            fs.blockmap.free_active_many(fresh)
+        if committed:
+            fs.blockmap.free_active_many(committed, defer_reuse=True)
+
     def allows_inplace(self, vbn: int) -> bool:
         return vbn in self.fs._fresh_blocks
 

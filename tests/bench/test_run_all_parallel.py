@@ -1,0 +1,59 @@
+"""The parallel evaluation plane's core guarantee: ``--jobs N`` output is
+byte-identical to a serial run of the same grid.
+
+Runs the reduced Tables 1-3 + small-ablation grid once in-process and
+once across two worker processes, then compares the rendered markdown
+byte-for-byte and the per-table row values numerically.  The serial run
+warms the module-level environment caches, so the second (forked) run is
+cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.run_all import build_plan, generate_body, merge_sections
+from repro.parallel import TaskPool, fork_available
+
+
+def _silent(*_args, **_kwargs):
+    pass
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+def test_reduced_grid_is_byte_identical_serial_vs_jobs2():
+    serial = generate_body(jobs=1, reduced=True, echo=_silent)
+    parallel = generate_body(jobs=2, reduced=True, echo=_silent)
+    assert parallel == serial
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+def test_reduced_grid_tables_match_row_for_row():
+    items = build_plan(reduced=True)
+    specs = [item.spec for item in items]
+    serial_values = TaskPool(1).map_values(specs)
+    parallel_values = TaskPool(2).map_values(specs)
+
+    for item, s_value, p_value in zip(items, serial_values, parallel_values):
+        if item.kind == "ablation":
+            assert p_value == s_value, item.spec.name
+            continue
+        assert p_value.title == s_value.title
+        assert len(p_value.rows) == len(s_value.rows), item.spec.name
+        for s_row, p_row in zip(s_value.rows, p_value.rows):
+            assert (p_row.label, p_row.measured, p_row.paper, p_row.unit) \
+                == (s_row.label, s_row.measured, s_row.paper, s_row.unit)
+
+
+def test_merge_regroups_ablation_points_in_order():
+    items = build_plan(reduced=True)
+    names = [item.spec.name for item in items]
+    # Declaration order: the three tables, then the ablation sweeps with
+    # their points contiguous (merge_sections relies on contiguity).
+    assert names[:3] == ["table1", "table2", "table3"]
+    sweeps = [item.sweep_key for item in items if item.kind == "ablation"]
+    seen = []
+    for key in sweeps:
+        if not seen or seen[-1] != key:
+            seen.append(key)
+    assert len(seen) == len(set(sweeps)), "sweep points must be contiguous"

@@ -1,0 +1,165 @@
+"""Vectorized block-map kernels against their per-block references.
+
+``free_active_many`` and the numpy ``commit_deferred_reuse`` replaced
+per-block loops; these tests drive both implementations over the same
+randomized alloc/free churn and require identical words, free counts,
+and extent indexes.  ``spans_with_readthrough`` gets the same treatment
+against a straight-line sequential re-implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backup.physical.incremental import (
+    coalesce_block_array,
+    spans_with_readthrough,
+)
+from repro.errors import FilesystemError
+from repro.wafl.blockmap import BlockMap, runs_from_blocks
+
+
+def snapshot_state(blockmap):
+    return (
+        blockmap.words.tobytes(),
+        blockmap.free_blocks(),
+        list(blockmap._starts),
+        dict(blockmap._lengths),
+        set(blockmap.reuse_excluded),
+        set(blockmap.dirty_fblocks),
+    )
+
+
+def churned_pair(seed, nblocks=4096, reserved=16):
+    """Two identically-populated maps ready for a free comparison."""
+    rng = np.random.RandomState(seed)
+    maps = [BlockMap(nblocks, reserved=reserved) for _ in range(2)]
+    cursor = reserved
+    allocated = []
+    for _ in range(40):
+        want = int(rng.randint(1, 64))
+        start, count = maps[0].allocate_run(want, cursor)
+        other = maps[1].allocate_run(want, cursor)
+        assert other == (start, count)
+        allocated.extend(range(start, start + count))
+        cursor = start + count
+    return maps, allocated, rng
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("defer", [False, True])
+def test_free_active_many_matches_per_block_loop(seed, defer):
+    (batched, reference), allocated, rng = churned_pair(seed)
+    victims = [b for b in allocated if rng.rand() < 0.5]
+    rng.shuffle(victims)
+
+    batched.free_active_many(victims, defer_reuse=defer)
+    for block in victims:
+        reference.free_active(block, defer_reuse=defer)
+
+    assert snapshot_state(batched) == snapshot_state(reference)
+    if defer:
+        assert batched.commit_deferred_reuse() \
+            == reference_commit(reference)
+        assert snapshot_state(batched) == snapshot_state(reference)
+
+
+def reference_commit(blockmap):
+    """The original per-block commit loop, kept as the test oracle."""
+    count = 0
+    for block in sorted(blockmap.reuse_excluded):
+        if blockmap.words[block] == 0:
+            blockmap._extent_add(block)
+            count += 1
+    blockmap.reuse_excluded.clear()
+    return count
+
+
+def test_free_active_many_detects_double_free_in_batch():
+    (batched, _), allocated, _ = churned_pair(7)
+    with pytest.raises(FilesystemError):
+        batched.free_active_many([allocated[0], allocated[0]])
+
+
+def test_free_active_many_rejects_unallocated_block():
+    blockmap = BlockMap(512, reserved=8)
+    start, count = blockmap.allocate_run(4, 8)
+    with pytest.raises(FilesystemError):
+        blockmap.free_active_many([start, start + count])  # one past the run
+
+
+def test_free_active_many_rejects_out_of_range():
+    blockmap = BlockMap(512, reserved=8)
+    blockmap.allocate_run(4, 8)
+    with pytest.raises(FilesystemError):
+        blockmap.free_active_many([2])  # inside the reserved area
+
+
+def test_free_active_many_snapshot_held_blocks_stay_unallocatable():
+    blockmap = BlockMap(512, reserved=8)
+    start, count = blockmap.allocate_run(8, 8)
+    blockmap.snapshot_create(1)
+    free_before = blockmap.free_blocks()
+    blockmap.free_active_many(range(start, start + count))
+    # The snapshot plane still holds every block: nothing returns.
+    assert blockmap.free_blocks() == free_before
+    assert blockmap.snapshot_delete(1) == count
+    assert blockmap.free_blocks() == free_before + count
+
+
+def test_runs_from_blocks_edge_cases():
+    assert runs_from_blocks(np.array([], dtype=np.int64)) == []
+    assert runs_from_blocks(np.array([5])) == [(5, 1)]
+    assert runs_from_blocks(np.array([1, 2, 3, 7, 9, 10])) \
+        == [(1, 3), (7, 1), (9, 2)]
+
+
+def sequential_spans(runs, gap_threshold, max_span):
+    """The original per-run loop, kept as the test oracle."""
+    spans = []
+    current_start = None
+    current_end = None
+    current_runs = []
+    for start, count in runs:
+        if current_start is None:
+            current_start, current_end = start, start + count
+            current_runs = [(start, count)]
+            continue
+        gap = start - current_end
+        if 0 <= gap <= gap_threshold and (start + count) - current_start <= max_span:
+            current_end = start + count
+            current_runs.append((start, count))
+        else:
+            spans.append((current_start, current_end - current_start,
+                          current_runs))
+            current_start, current_end = start, start + count
+            current_runs = [(start, count)]
+    if current_start is not None:
+        spans.append((current_start, current_end - current_start,
+                      current_runs))
+    return spans
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13, 14])
+@pytest.mark.parametrize("gap_threshold,max_span", [(64, 2048), (0, 64), (8, 128)])
+def test_spans_with_readthrough_matches_sequential(seed, gap_threshold,
+                                                   max_span):
+    rng = np.random.RandomState(seed)
+    blocks = np.flatnonzero(rng.rand(20_000) < 0.4)
+    runs = coalesce_block_array(blocks, max_run=int(rng.randint(16, 200)))
+    assert spans_with_readthrough(runs, gap_threshold, max_span) \
+        == sequential_spans(runs, gap_threshold, max_span)
+
+
+def test_spans_oversized_single_run_forms_its_own_span():
+    # A single run longer than max_span is still taken whole.
+    assert spans_with_readthrough([(0, 5000)], max_span=2048) \
+        == [(0, 5000, [(0, 5000)])]
+
+
+def test_spans_empty_and_unsorted_break():
+    assert spans_with_readthrough([]) == []
+    # A backwards jump (negative gap) always breaks the span.
+    assert spans_with_readthrough([(100, 10), (50, 10)]) \
+        == [(100, 10, [(100, 10)]), (50, 10, [(50, 10)])]
