@@ -24,6 +24,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.backup.common import MAX_RUN_BLOCKS, BackupResult
 from repro.backup.logical.dumpdates import DumpDates
+from repro.errors import ReproError
+from repro.obs import observe_failure
 from repro.dumpfmt.records import FLAG_HAS_ACL, FLAG_SUBTREE_ROOT, RecordHeader, TapeLabel
 from repro.dumpfmt.spec import SEGMENT_SIZE, TS_INODE
 from repro.dumpfmt.stream import DumpStreamWriter, data_to_segments
@@ -153,7 +155,18 @@ class LogicalDump:
     # -- the dump -----------------------------------------------------------------
 
     def run(self) -> Iterator:
-        """Generator of perf ops; returns a :class:`DumpResult`."""
+        """Generator of perf ops; returns a :class:`DumpResult`.
+
+        Failures on the way (no tape, full volume, ...) are recorded on
+        the observability plane before propagating.
+        """
+        try:
+            return (yield from self._run())
+        except ReproError as error:
+            observe_failure("logical.dump", error)
+            raise
+
+    def _run(self) -> Iterator:
         result = DumpResult()
         result.level = self.level
         source = self.source

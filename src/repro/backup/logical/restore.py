@@ -28,8 +28,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import FormatError, NotFoundError
+from repro.errors import FormatError, NotFoundError, ReproError
 from repro.backup.common import BackupResult, RecorderScope
+from repro.obs import observe_failure
 from repro.dumpfmt.spec import SEGMENT_SIZE
 from repro.dumpfmt.stream import DumpStreamReader, InodeEntry
 from repro.perf.ops import CpuOp, PhaseBegin, PhaseEnd, SleepOp, TapeReadOp
@@ -131,6 +132,18 @@ class LogicalRestore:
     # -- the restore ----------------------------------------------------------------
 
     def run(self) -> Iterator:
+        """Generator of perf ops; returns a :class:`RestoreResult`.
+
+        Failures (short tape stream, full target volume, ...) are recorded
+        on the observability plane before propagating.
+        """
+        try:
+            return (yield from self._run())
+        except ReproError as error:
+            observe_failure("logical.restore", error)
+            raise
+
+    def _run(self) -> Iterator:
         result = RestoreResult()
         self.drive.rewind()
         # Marks are deltas against the drive's cumulative counters (the

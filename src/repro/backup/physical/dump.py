@@ -19,8 +19,9 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.errors import BackupError, SnapshotError
+from repro.errors import BackupError, ReproError, SnapshotError
 from repro.backup.common import MAX_RUN_BLOCKS, BackupResult
+from repro.obs import observe_failure
 from repro.backup.physical.image import ImageHeader, pack_chunk_header, pack_trailer
 from repro.backup.physical.incremental import (
     coalesce_block_array,
@@ -93,6 +94,18 @@ class ImageDump:
             elapsed += piece
 
     def run(self) -> Iterator:
+        """Generator of perf ops; returns an :class:`ImageDumpResult`.
+
+        Failures are recorded on the observability plane before
+        propagating.
+        """
+        try:
+            return (yield from self._run())
+        except ReproError as error:
+            observe_failure("image.dump", error)
+            raise
+
+    def _run(self) -> Iterator:
         result = ImageDumpResult()
         fs = self.fs
         volume = fs.volume

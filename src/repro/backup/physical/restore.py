@@ -17,8 +17,9 @@ from __future__ import annotations
 import zlib
 from typing import Iterator, Optional
 
-from repro.errors import FormatError, IncrementalError
+from repro.errors import FormatError, IncrementalError, ReproError
 from repro.backup.common import BackupResult
+from repro.obs import observe_failure
 from repro.backup.physical.image import (
     CHUNK_HEADER_SIZE,
     ImageHeader,
@@ -56,6 +57,18 @@ class ImageRestore:
         self.expect_fsinfo = expect_fsinfo
 
     def run(self) -> Iterator:
+        """Generator of perf ops; returns an :class:`ImageRestoreResult`.
+
+        Failures (truncated stream, geometry mismatch, CRC, ...) are
+        recorded on the observability plane before propagating.
+        """
+        try:
+            return (yield from self._run())
+        except ReproError as error:
+            observe_failure("image.restore", error)
+            raise
+
+    def _run(self) -> Iterator:
         result = ImageRestoreResult()
         result.drives_used = len(self.drives)
         initial_bytes_read = sum(drive.bytes_read for drive in self.drives)

@@ -121,26 +121,51 @@ def _grid_config(reduced: bool, **overrides) -> Optional[EliotConfig]:
     return EliotConfig(**overrides)
 
 
+def _isolate_trace_caches() -> None:
+    """When tracing, start every section task with cold caches.
+
+    The harness caches environments (and ``run_basic`` results on them)
+    so untraced runs can share work; a traced run must not, or the event
+    stream would depend on cache warmth: a serial run's second table
+    would hit the cache and skip its replay (emitting nothing) while a
+    cold forked worker replays and emits.  Clearing per task makes the
+    merged stream a pure function of the plan — byte-identical at any
+    ``--jobs`` — at the price of rebuilding environments, which only
+    traced (diagnostic) runs pay.
+    """
+    from repro.obs.trace import get_tracer
+
+    if get_tracer().enabled:
+        from repro.bench.configs import clear_env_cache
+
+        clear_env_cache()
+
+
 def section_table1() -> Table:
+    _isolate_trace_caches()
     table, _checks = run_table1()
     return table
 
 
 def section_table2(reduced: bool = False) -> Table:
+    _isolate_trace_caches()
     env = build_home_env(_grid_config(reduced))
     return run_table2(env)
 
 
 def section_table3(reduced: bool = False) -> Table:
+    _isolate_trace_caches()
     env = build_home_env(_grid_config(reduced))
     return run_table3(env)
 
 
 def section_table45(ndrives: int) -> Table:
+    _isolate_trace_caches()
     return run_table45(ndrives)
 
 
 def section_concurrent() -> Table:
+    _isolate_trace_caches()
     return run_concurrent_volumes()
 
 
@@ -148,6 +173,7 @@ def section_ablation_point(key: str, args: Tuple,
                            scale: Optional[int] = None) -> List[Tuple]:
     from repro.bench.ablations import sweep
 
+    _isolate_trace_caches()
     return sweep(key).point_fn(*args, scale=scale)
 
 
@@ -269,10 +295,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--check-determinism", action="store_true",
                         help="also generate serially and require the bodies"
                              " to match byte-for-byte")
+    parser.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                        help="record a merged trace of every experiment"
+                             " task (worker events merge in declaration"
+                             " order, so the stream is --jobs-independent)")
     args = parser.parse_args(argv)
 
     started = time.time()
+    if args.trace:
+        from repro.obs import Tracer, set_tracer
+
+        set_tracer(Tracer())
     body = generate_body(jobs=args.jobs, reduced=args.reduced)
+    if args.trace:
+        from repro.obs import get_tracer
+
+        count = get_tracer().write_jsonl(args.trace)
+        set_tracer(None)
+        print("trace: %d event(s) -> %s" % (count, args.trace))
 
     if args.check_determinism:
         print("re-running serially for the determinism check ...")

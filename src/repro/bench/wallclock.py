@@ -254,11 +254,64 @@ def bench_sim_kernel() -> Dict[str, float]:
             "unit": "events/s"}
 
 
+def bench_obs_null() -> Dict[str, float]:
+    """Cost of the disabled observability gates, relative to a guarded op.
+
+    When tracing and metrics are off, every instrumented hot-path site
+    pays exactly one ``REGISTRY.enabled`` / ``tracer.enabled`` attribute
+    check.  This times a tight loop of those checks and a loop of the
+    cheapest guarded data-plane op (an 8-block cache run hit), and
+    reports the fractional cost of one gate check per op as
+    ``overhead_fraction`` — the regression gate asserts it stays <= 3%.
+    """
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.trace import get_tracer
+    from repro.wafl.buffercache import BlockCache
+
+    was_enabled = REGISTRY.enabled
+    REGISTRY.enabled = False
+    tracer = get_tracer()
+    try:
+        checks = 200_000
+        hits = 0
+        start = time.perf_counter()
+        for _ in range(checks):
+            if REGISTRY.enabled:
+                hits += 1
+            if tracer.enabled:
+                hits += 1
+        gate_seconds = time.perf_counter() - start
+
+        bs = 4096
+        nblocks = 512
+        cache = BlockCache(capacity_blocks=2 * nblocks)
+        cache.put_run(0, bytes(nblocks * bs), bs)
+        ops = 20_000
+        start = time.perf_counter()
+        for i in range(ops):
+            cache.get_run((i * 8) % (nblocks - 8), 8, bs)
+        op_seconds = time.perf_counter() - start
+    finally:
+        REGISTRY.enabled = was_enabled
+    if hits:
+        raise RuntimeError("observability gates fired while disabled")
+
+    per_gate = gate_seconds / (2 * checks)
+    per_op = op_seconds / ops
+    return {
+        "seconds": gate_seconds,
+        "rate": (2 * checks) / gate_seconds,
+        "unit": "gate-checks/s",
+        "overhead_fraction": per_gate / per_op,
+    }
+
+
 MICRO_BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
     "micro.volume_io": bench_volume_io,
     "micro.block_cache": bench_block_cache,
     "micro.blockmap": bench_blockmap,
     "micro.dump_stream": bench_dump_stream,
+    "micro.obs_null": bench_obs_null,
     "micro.sim_kernel": bench_sim_kernel,
 }
 
@@ -500,6 +553,7 @@ if __name__ == "__main__":
 
 __all__ = [
     "BASELINE_NAME",
+    "bench_obs_null",
     "bench_parallel_run_all",
     "calibrate",
     "check_regression",

@@ -124,6 +124,99 @@ def _new_tape(name: str, tapes: int, capacity: int) -> TapeDrive:
                                                   name=name))
 
 
+# ---------------------------------------------------------------------------
+# Observability plane (--trace / --trace-chrome / --metrics)
+# ---------------------------------------------------------------------------
+
+def _add_obs_flags(p) -> None:
+    p.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                   help="write a structured trace of the run (JSONL)")
+    p.add_argument("--trace-chrome", default=None, metavar="OUT.json",
+                   help="also export Chrome trace_event JSON (Perfetto)")
+    p.add_argument("--metrics", nargs="?", const="-", default=None,
+                   metavar="OUT.json",
+                   help="collect metrics; print them ('-', the default)"
+                        " or write a JSON snapshot")
+
+
+def _obs_enabled(args) -> bool:
+    return bool(getattr(args, "trace", None)
+                or getattr(args, "trace_chrome", None)
+                or getattr(args, "metrics", None))
+
+
+def _obs_begin(args) -> bool:
+    """Install the run's tracer/registry; returns whether anything is on."""
+    if not _obs_enabled(args):
+        return False
+    from repro.obs import REGISTRY, Tracer, set_tracer
+
+    if getattr(args, "trace", None) or getattr(args, "trace_chrome", None):
+        set_tracer(Tracer())
+    if getattr(args, "metrics", None):
+        REGISTRY.reset()
+        REGISTRY.enabled = True
+    return True
+
+
+def _run_engine(args, name: str, engine):
+    """Drain ``engine`` — through a :class:`TimedRun` when the
+    observability plane is on, so simulated-time phase spans exist — and
+    return the engine's own result object.  Data movement is identical
+    either way."""
+    if not _obs_enabled(args):
+        return drain_engine(engine)
+    from repro.perf.executor import TimedRun
+
+    run = TimedRun()
+    result = run.add_job(name, engine)
+    run.run()
+    print("%s: simulated elapsed %.2fs (cpu %.2fs)"
+          % (name, result.elapsed, result.cpu_seconds))
+    return result.data
+
+
+def _obs_end(args) -> None:
+    """Write/print the run's trace and metrics, then disarm the plane."""
+    if not _obs_enabled(args):
+        return
+    from repro.obs import (
+        REGISTRY,
+        export_chrome_trace,
+        format_phase_summary,
+        get_tracer,
+        phase_rows,
+        set_tracer,
+    )
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        events = tracer.events()
+        rows = phase_rows(events)
+        if rows:
+            print(format_phase_summary(rows))
+        if getattr(args, "trace", None):
+            count = tracer.write_jsonl(args.trace)
+            print("trace: %d event(s) -> %s" % (count, args.trace))
+        if getattr(args, "trace_chrome", None):
+            export_chrome_trace(events, args.trace_chrome)
+            print("trace: chrome trace_event -> %s (open in Perfetto)"
+                  % args.trace_chrome)
+        set_tracer(None)
+    metrics_out = getattr(args, "metrics", None)
+    if metrics_out:
+        if metrics_out == "-":
+            print(REGISTRY.to_text())
+        else:
+            with open(metrics_out, "w") as handle:
+                json.dump(REGISTRY.snapshot(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            print("metrics: snapshot -> %s" % metrics_out)
+        REGISTRY.reset()
+        REGISTRY.enabled = False
+
+
 _TYPE_CHAR = {FileType.REGULAR: "-", FileType.DIRECTORY: "d",
               FileType.SYMLINK: "l"}
 
@@ -230,7 +323,9 @@ def cmd_dump(args) -> int:
     dates = _load_dumpdates(args.dumpdates)
     drive = _new_tape(os.path.basename(args.tape), args.tapes,
                       _parse_size(args.tape_capacity))
-    result = drain_engine(
+    _obs_begin(args)
+    result = _run_engine(
+        args, "dump",
         LogicalDump(fs, drive, level=args.level, subtree=args.subtree,
                     dumpdates=dates).run()
     )
@@ -242,6 +337,7 @@ def cmd_dump(args) -> int:
     print("DUMP: %d files, %d directories, %s"
           % (result.files, result.directories,
              fmt_bytes(result.bytes_to_tape)))
+    _obs_end(args)
     return 0
 
 
@@ -254,7 +350,9 @@ def cmd_restore(args) -> int:
         fs = WaflFilesystem.format(volume)
     else:
         fs = _mount(args.volume)
-    result = drain_engine(
+    _obs_begin(args)
+    result = _run_engine(
+        args, "restore",
         LogicalRestore(fs, drive, into=args.into,
                        symtab=_load_symtab(args.symtab),
                        select=args.select or None,
@@ -266,6 +364,7 @@ def cmd_restore(args) -> int:
           % (result.files, result.created, result.deleted, result.skipped))
     for error in result.errors:
         print("RESTORE: warning: %s" % error)
+    _obs_end(args)
     return 0
 
 
@@ -273,7 +372,9 @@ def cmd_image_dump(args) -> int:
     fs = _mount(args.volume)
     drive = _new_tape(os.path.basename(args.image), args.tapes,
                       _parse_size(args.tape_capacity))
-    result = drain_engine(
+    _obs_begin(args)
+    result = _run_engine(
+        args, "image-dump",
         ImageDump(fs, drive, snapshot_name=args.snapshot,
                   base_snapshot=args.base,
                   include_snapshots=args.include_snapshots).run()
@@ -283,6 +384,7 @@ def cmd_image_dump(args) -> int:
     print("IMAGE DUMP: %d blocks (%s) -> %s%s"
           % (result.blocks, fmt_bytes(result.bytes_to_tape), args.image,
              " [incremental]" if result.incremental else ""))
+    _obs_end(args)
     return 0
 
 
@@ -299,10 +401,13 @@ def cmd_image_restore(args) -> int:
         volume = RaidVolume(header.geometry,
                             name=os.path.basename(args.volume).split(".")[0])
         drive.rewind()
-    result = drain_engine(ImageRestore(volume, drive).run())
+    _obs_begin(args)
+    result = _run_engine(args, "image-restore",
+                         ImageRestore(volume, drive).run())
     save_volume(volume, args.volume)
     print("IMAGE RESTORE: %d blocks onto %s (cp %d)"
           % (result.blocks, args.volume, result.cp_count))
+    _obs_end(args)
     return 0
 
 
@@ -541,6 +646,7 @@ def cmd_run_campaign(args) -> int:
     )
     from repro.workload import WorkloadGenerator
 
+    _obs_begin(args)
     catalog = BackupCatalog(args.catalog)
     pool = MediaPool(catalog)
     pool.add_blank(args.tapes, capacity=_parse_size(args.tape_capacity))
@@ -582,6 +688,7 @@ def cmd_run_campaign(args) -> int:
         total = sum(s.bytes_to_tape for s in sets)
         print("  %s:%s  %d set(s), %s to tape"
               % (fsid, subtree, len(sets), fmt_bytes(total)))
+    _obs_end(args)
     return 0
 
 
@@ -600,6 +707,36 @@ def cmd_restore_pit(args) -> int:
              plan.strategy, len(plan)))
     print("restore-pit: loaded cartridges %s" % ",".join(plan.cartridges))
     print("restore-pit: wrote %s" % args.out)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Inspect, summarize, validate, or export a saved trace file."""
+    from repro.obs import (
+        export_chrome_trace,
+        format_phase_summary,
+        phase_rows,
+        read_jsonl,
+        to_chrome_trace,
+        validate_chrome_trace,
+        validate_spans,
+    )
+
+    events = read_jsonl(args.trace_file)
+    if args.action == "validate":
+        validate_spans(events)
+        validate_chrome_trace(to_chrome_trace(events))
+        print("trace: %d event(s); spans well-formed; export schema ok"
+              % len(events))
+        return 0
+    if args.action == "summary":
+        print(format_phase_summary(phase_rows(events)))
+        return 0
+    # export
+    out = args.out or (args.trace_file + ".chrome.json")
+    count = export_chrome_trace(events, out)
+    print("trace: %d event(s) -> %s (open in Perfetto or chrome://tracing)"
+          % (count, out))
     return 0
 
 
@@ -686,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON dumpdates database (read + updated)")
     p.add_argument("--tapes", type=int, default=8)
     p.add_argument("--tape-capacity", default="35GB")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_dump)
 
     p = sub.add_parser("restore", help="logical restore from tape")
@@ -703,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--groups", type=int, default=2)
     p.add_argument("--disks", type=int, default=4)
     p.add_argument("--blocks", type=int, default=2500)
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_restore)
 
     p = sub.add_parser("image-dump", help="physical (image) dump")
@@ -715,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--include-snapshots", action="store_true")
     p.add_argument("--tapes", type=int, default=8)
     p.add_argument("--tape-capacity", default="35GB")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_image_dump)
 
     p = sub.add_parser("image-restore", help="physical (image) restore")
@@ -722,6 +862,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("volume")
     p.add_argument("--fresh", action="store_true",
                    help="ignore an existing volume container")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_image_restore)
 
     p = sub.add_parser("interactive",
@@ -839,7 +980,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="age/dump volumes in N worker processes (catalog"
                         " commits stay ordered and single-writer)")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_run_campaign)
+
+    p = sub.add_parser("trace",
+                       help="inspect/export a --trace JSONL file")
+    p.add_argument("action", choices=["export", "summary", "validate"])
+    p.add_argument("trace_file")
+    p.add_argument("--out", default=None,
+                   help="output path for export"
+                        " (default: TRACE_FILE.chrome.json)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("restore-pit",
                        help="catalog-planned point-in-time restore")

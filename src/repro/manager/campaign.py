@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CatalogError, IncrementalError
 from repro.backup.jobs import build_dump_engine
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import get_tracer
 from repro.backup.logical.restore import LogicalRestore
 from repro.backup.physical.image import ImageHeader
 from repro.backup.physical.restore import ImageRestore
@@ -255,9 +257,26 @@ class CampaignDriver:
             if volume.strategy == STRATEGY_IMAGE:
                 volume.supersede_snapshots(level, snapshot_name, date)
             results[job.name] = (backup_set, job)
+            self._observe_day_job(volume, level, day, job.name, job.start,
+                                  job.end, data.bytes_to_tape)
         self.catalog.save()
         self.day += 1
         return results
+
+    def _observe_day_job(self, volume, level: int, day: int, name: str,
+                         start: float, end: float,
+                         bytes_to_tape: int) -> None:
+        """One campaign-level span + counters per completed dump job."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.complete(
+                name, cat="campaign", ts=start, dur=end - start,
+                tid=volume.fsid,
+                args={"day": day, "strategy": volume.strategy,
+                      "level": level, "bytes_to_tape": bytes_to_tape})
+        if REGISTRY.enabled:
+            REGISTRY.counter("campaign.dumps").inc()
+            REGISTRY.counter("campaign.bytes_to_tape").inc(bytes_to_tape)
 
     def _run_day_parallel(self) -> Dict[str, object]:
         """Fan the day's volumes out over a :class:`TaskPool`.
@@ -321,6 +340,9 @@ class CampaignDriver:
                 volume.supersede_snapshots(level, snapshot_name,
                                            payload["date"])
             results[payload["name"]] = (backup_set, payload)
+            self._observe_day_job(volume, level, day, payload["name"],
+                                  payload["start"], payload["end"],
+                                  payload["bytes_to_tape"])
         self.catalog.save()
         self.day += 1
         return results

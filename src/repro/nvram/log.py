@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.errors import FilesystemError
+from repro.obs.metrics import REGISTRY
 from repro.units import MB
 
 # Fixed bookkeeping bytes charged per logged operation.
@@ -83,6 +84,10 @@ class NvramLog:
     def switch_halves(self) -> None:
         """Called at a consistency point: the current half's operations are
         now on disk, so discard them and start filling the other half."""
+        if REGISTRY.enabled:
+            REGISTRY.counter("nvram.flushes").inc()
+            REGISTRY.counter("nvram.flushed_bytes").inc(
+                self._fill[self._active])
         self._halves[self._active].clear()
         self._fill[self._active] = 0
         self._active ^= 1

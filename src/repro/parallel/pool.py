@@ -30,6 +30,8 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.metrics import REGISTRY, diff_snapshots
+from repro.obs.trace import Tracer, get_tracer, set_tracer
 
 
 class TaskError(ReproError):
@@ -150,23 +152,46 @@ def _invoke(spec: TaskSpec) -> Tuple[Any, float, int]:
     return value, time.perf_counter() - start, os.getpid()
 
 
-def _worker(spec: TaskSpec) -> Tuple[str, Any, float, int, str]:
+def _worker(spec: TaskSpec) -> Tuple[str, Any, float, int, str, Optional[dict]]:
     """Worker entry point: never raises, so tracebacks survive pickling.
 
-    Returns ``("ok", value, elapsed, pid, "")`` or
-    ``("timeout"|"error", summary, elapsed, pid, traceback_text)``.
+    Returns ``("ok", value, elapsed, pid, "", obs)`` or
+    ``("timeout"|"error", summary, elapsed, pid, traceback_text, None)``.
+
+    When the observability plane is on (the forked child inherits the
+    parent's tracer/registry state), a fresh per-task tracer is installed
+    for the duration of the task — in the serial path too, so both paths
+    produce identically isolated per-task event streams — and ``obs``
+    ships the task's events plus its metrics *delta* back to the parent.
     """
     start = time.perf_counter()
+    parent_tracer = get_tracer()
+    trace_on = parent_tracer.enabled
+    metrics_on = REGISTRY.enabled
+    metrics_before = REGISTRY.snapshot() if metrics_on else None
+    if trace_on:
+        set_tracer(Tracer(wall_clock=parent_tracer.wall_clock))
     try:
         value, elapsed, pid = _invoke(spec)
-        return ("ok", value, elapsed, pid, "")
+        obs = None
+        if trace_on or metrics_on:
+            obs = {}
+            if trace_on:
+                obs["events"] = get_tracer().take_events()
+            if metrics_on:
+                obs["metrics"] = diff_snapshots(metrics_before,
+                                                REGISTRY.snapshot())
+        return ("ok", value, elapsed, pid, "", obs)
     except TaskTimeout as error:
         return ("timeout", str(error), time.perf_counter() - start,
-                os.getpid(), traceback.format_exc())
+                os.getpid(), traceback.format_exc(), None)
     except BaseException as error:  # noqa: BLE001 - must cross the pipe
         return ("error", "%s: %s" % (type(error).__name__, error),
                 time.perf_counter() - start, os.getpid(),
-                traceback.format_exc())
+                traceback.format_exc(), None)
+    finally:
+        if trace_on:
+            set_tracer(parent_tracer)
 
 
 class TaskPool:
@@ -188,15 +213,17 @@ class TaskPool:
     def _run_serial(self, specs: List[TaskSpec],
                     progress: Optional[Callable[[TaskEvent], None]]) -> List[TaskResult]:
         results: List[TaskResult] = []
+        obs_slots: Dict[int, dict] = {}
         done = 0
         for index, spec in enumerate(specs):
             attempts = 0
             while True:
                 attempts += 1
                 outcome = _worker(spec)
-                status, value, elapsed, pid, tb_text = outcome
+                status, value, elapsed, pid, tb_text, obs = outcome
                 ok = status == "ok"
                 will_retry = not ok and attempts <= spec.retries
+                self._count_attempt(status, will_retry)
                 if ok:
                     done += 1
                 if progress is not None:
@@ -206,12 +233,17 @@ class TaskPool:
                 if ok:
                     results.append(TaskResult(spec.name, value, elapsed,
                                               attempts, pid))
+                    if obs is not None:
+                        obs_slots[index] = obs
                     break
                 if not will_retry:
                     klass = TaskTimeout if status == "timeout" else TaskError
                     raise klass(spec.name,
                                 "task %r failed after %d attempt(s): %s"
                                 % (spec.name, attempts, value), tb_text)
+        # Serial tasks mutate the parent registry in place, so only the
+        # events need adopting (identical stream to the parallel merge).
+        self._merge_obs(obs_slots, len(specs), merge_metrics=False)
         return results
 
     # -- parallel path ----------------------------------------------------
@@ -223,6 +255,7 @@ class TaskPool:
 
         context = multiprocessing.get_context("fork")
         slots: Dict[int, TaskResult] = {}
+        obs_slots: Dict[int, dict] = {}
         attempts = [0] * len(specs)
         done = 0
         failure: Optional[TaskError] = None
@@ -244,14 +277,15 @@ class TaskPool:
                         # an in-worker error.
                         outcome = ("error", "%s: %s"
                                    % (type(error).__name__, error),
-                                   0.0, 0, "")
+                                   0.0, 0, "", None)
                     else:
                         outcome = future.result()
-                    status, value, elapsed, pid, tb_text = outcome
+                    status, value, elapsed, pid, tb_text, obs = outcome
                     ok = status == "ok"
                     will_retry = (not ok
                                   and attempts[index] <= spec.retries
                                   and failure is None)
+                    self._count_attempt(status, will_retry)
                     if ok:
                         done += 1
                     if progress is not None:
@@ -261,6 +295,8 @@ class TaskPool:
                     if ok:
                         slots[index] = TaskResult(spec.name, value, elapsed,
                                                   attempts[index], pid)
+                        if obs is not None:
+                            obs_slots[index] = obs
                     elif will_retry:
                         attempts[index] += 1
                         pending[executor.submit(_worker, spec)] = index
@@ -272,8 +308,48 @@ class TaskPool:
                             % (spec.name, attempts[index], value), tb_text)
         if failure is not None:
             raise failure
+        # Worker registries are per-process, so their shipped deltas must
+        # be folded in here (serial tasks wrote straight into ours).
+        self._merge_obs(obs_slots, len(specs), merge_metrics=True)
         # Deterministic merge: declaration order, not completion order.
         return [slots[index] for index in range(len(specs))]
+
+    # -- observability merge ----------------------------------------------
+
+    @staticmethod
+    def _count_attempt(status: str, will_retry: bool) -> None:
+        if not REGISTRY.enabled:
+            return
+        REGISTRY.counter("pool.attempts").inc()
+        if status == "ok":
+            REGISTRY.counter("pool.tasks").inc()
+        if status == "timeout":
+            REGISTRY.counter("pool.timeouts").inc()
+        if will_retry:
+            REGISTRY.counter("pool.retries").inc()
+
+    @staticmethod
+    def _merge_obs(obs_slots: Dict[int, dict], count: int,
+                   merge_metrics: bool) -> None:
+        """Adopt worker observability payloads in declaration order.
+
+        Events get ``pid = declaration index + 1`` — a deterministic
+        *worker id* (never an OS pid), so merged streams are byte-equal
+        between ``jobs=1`` and ``jobs=N``.
+        """
+        if not obs_slots:
+            return
+        tracer = get_tracer()
+        for index in range(count):
+            payload = obs_slots.get(index)
+            if payload is None:
+                continue
+            events = payload.get("events")
+            if tracer.enabled and events:
+                tracer.add_events(events, pid=index + 1)
+            metrics = payload.get("metrics")
+            if merge_metrics and REGISTRY.enabled and metrics:
+                REGISTRY.merge(metrics)
 
     # -- entry point ------------------------------------------------------
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ReproError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import get_tracer
 from repro.perf.costs import HardwareProfile, f630_profile
 from repro.perf.ops import (
     Barrier,
@@ -241,8 +243,14 @@ class _Job:
 class TimedRun:
     """A set of concurrent jobs over one simulated machine."""
 
-    def __init__(self, profile: Optional[HardwareProfile] = None):
+    def __init__(self, profile: Optional[HardwareProfile] = None,
+                 tracer=None, metrics=None):
         self.profile = profile or f630_profile()
+        # Observability: default to the process-wide tracer/registry, both
+        # disabled unless the caller (CLI --trace/--metrics, tests) turned
+        # them on.  Disabled costs one attribute check per record.
+        self.tracer = get_tracer() if tracer is None else tracer
+        self.metrics = REGISTRY if metrics is None else metrics
         self.sim = Simulation()
         self.cpu = Resource(self.sim, capacity=self.profile.cpu_count, name="cpu")
         self._disk_models = {}
@@ -319,6 +327,11 @@ class TimedRun:
         result.cpu_seconds += cpu_seconds
         result.disk_bytes += disk_bytes
         result.tape_bytes += tape_bytes
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.complete(type(op).__name__, cat="op", ts=start,
+                            dur=end - start, tid=job.name,
+                            args={"stage": op.stage})
 
     def _execute(self, job: _Job, op: PerfOp):
         sim = self.sim
@@ -448,10 +461,16 @@ class TimedRun:
             # merged.  Concurrent runs skip the pass: another job could
             # claim a shared resource between two adjacent ops.
             job = self._jobs[0]
+            before = len(job.ops)
             job.ops = coalesce_ops(
                 job.ops, job.is_restore,
                 self.profile.tape_model().record_size,
             )
+            if self.metrics.enabled:
+                self.metrics.counter("executor.ops_coalesced").inc(
+                    before - len(job.ops))
+        if self.tracer.enabled or self.metrics.enabled:
+            sim.observer = self._observe_sim
         for job in self._jobs:
             sink_keys = {job.sink_key(op) for op in job.ops if job.is_sink_op(op)}
             stores = {
@@ -477,7 +496,47 @@ class TimedRun:
                     ends.append(stage.end)
             job.result.end = max(ends)
             results[job.name] = job.result
+            self._observe_job(job.result)
         return results
+
+    # -- observability ---------------------------------------------------------
+
+    def _observe_sim(self, sim: Simulation) -> None:
+        """``Simulation.observer`` hook: fires once when the run drains."""
+        if self.metrics.enabled:
+            self.metrics.gauge("sim.events_scheduled").set(
+                sim.events_scheduled)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "sim.run_complete", cat="sim", ts=sim.now, tid="sim",
+                args={"events_scheduled": sim.events_scheduled})
+
+    def _observe_job(self, result: JobResult) -> None:
+        """Emit the per-job and per-stage spans plus run totals."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.complete(
+                result.name, cat="job", ts=result.start, dur=result.elapsed,
+                tid=result.name,
+                args={"cpu_seconds": result.cpu_seconds,
+                      "disk_bytes": result.disk_bytes,
+                      "tape_bytes": result.tape_bytes})
+            for name in result.stage_order:
+                stage = result.stages[name]
+                if stage.start is None:
+                    continue
+                tracer.complete(
+                    name, cat="stage", ts=stage.start, dur=stage.elapsed,
+                    tid=result.name,
+                    args={"cpu_seconds": stage.cpu_seconds,
+                          "disk_bytes": stage.disk_bytes,
+                          "tape_bytes": stage.tape_bytes})
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.counter("executor.jobs").inc()
+            metrics.counter("executor.cpu_seconds").inc(result.cpu_seconds)
+            metrics.counter("executor.disk_bytes").inc(result.disk_bytes)
+            metrics.counter("executor.tape_bytes").inc(result.tape_bytes)
 
 
 __all__ = ["JobResult", "StageStats", "TimedRun", "coalesce_ops", "drain"]

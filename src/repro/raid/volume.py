@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Tuple
 
 from repro.errors import RaidError
+from repro.obs.metrics import REGISTRY
 from repro.raid.group import RaidGroup
 from repro.raid.layout import BlockLocation, VolumeGeometry, locate
 from repro.storage.device import IoRecorder
@@ -147,6 +148,11 @@ class RaidVolume:
             cache.put_run(start_block, out, bs)
         if self.recorder is not None:
             self.recorder.on_read(start_block, nblocks)
+        if REGISTRY.enabled:
+            REGISTRY.counter("volume.read_runs").inc()
+            REGISTRY.counter("volume.read_blocks").inc(nblocks)
+            REGISTRY.histogram("disk.read_run_blocks",
+                               (1, 4, 16, 64, 256)).observe(nblocks)
         return bytes(out)
 
     def write_run(self, start_block: int, data: bytes) -> None:
@@ -161,6 +167,9 @@ class RaidVolume:
             self.cache.put_run(start_block, data, self.block_size)
         if self.recorder is not None:
             self.recorder.on_write(start_block, nblocks)
+        if REGISTRY.enabled:
+            REGISTRY.counter("volume.write_runs").inc()
+            REGISTRY.counter("volume.write_blocks").inc(nblocks)
 
     # -- maintenance ---------------------------------------------------------
 

@@ -236,6 +236,14 @@ class Simulation:
         self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = 0
         self.now = 0.0
+        # Observability hook: called as ``observer(sim)`` once per run()
+        # completion — never from step(), so the hot loop pays nothing.
+        self.observer: Optional[Callable[["Simulation"], None]] = None
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the heap sequence counter)."""
+        return self._sequence
 
     # -- scheduling -----------------------------------------------------
 
@@ -280,10 +288,13 @@ class Simulation:
             when = self._heap[0][0]
             if until is not None and when > until:
                 self.now = until
-                return
+                break
             self.step()
-        if until is not None:
-            self.now = until
+        else:
+            if until is not None:
+                self.now = until
+        if self.observer is not None:
+            self.observer(self)
 
     def run_process(self, process: Process, until: Optional[float] = None) -> Any:
         """Run until ``process`` completes and return its value.

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.errors import StorageError
+from repro.obs.metrics import REGISTRY
 from repro.units import KB, MB
 
 DEFAULT_BLOCK_SIZE = 4 * KB
@@ -234,6 +235,11 @@ class DiskModel:
         total = position + transfer
         self.busy_seconds += total
         self.bytes_moved += nblocks * self.block_size
+        if REGISTRY.enabled:
+            REGISTRY.counter("disk.requests").inc()
+            REGISTRY.counter("disk.%s_seconds" % kind).inc(total)
+            if position:
+                REGISTRY.counter("disk.seeks").inc()
         return total
 
     def narrow_service(self, start_block: int, nblocks: int) -> float:
@@ -252,6 +258,9 @@ class DiskModel:
         self.last_end = start_block + nblocks
         self.busy_seconds += service
         self.bytes_moved += nblocks * self.block_size
+        if REGISTRY.enabled:
+            REGISTRY.counter("disk.requests").inc()
+            REGISTRY.counter("disk.narrow_reads").inc()
         return service
 
     def _write_positioning(self, start_block: int) -> float:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.errors import TapeError
+from repro.obs.metrics import REGISTRY
 from repro.units import GB, KB, MB
 
 
@@ -120,19 +121,25 @@ class TapeDrive:
             # Fast path: the whole chunk fits on the loaded cartridge.
             cartridge.append(chunk)
             self.bytes_written += len(chunk)
-            return self.media_changes - changes_before
-        view = memoryview(chunk)
-        while len(view):
-            cartridge = self._ensure_loaded()
-            space = cartridge.remaining
-            if space == 0:
-                self.loaded = None
-                continue
-            take = min(space, len(view))
-            cartridge.append(bytes(view[:take]))
-            view = view[take:]
-        self.bytes_written += len(chunk)
-        return self.media_changes - changes_before
+        else:
+            view = memoryview(chunk)
+            while len(view):
+                cartridge = self._ensure_loaded()
+                space = cartridge.remaining
+                if space == 0:
+                    self.loaded = None
+                    continue
+                take = min(space, len(view))
+                cartridge.append(bytes(view[:take]))
+                view = view[take:]
+            self.bytes_written += len(chunk)
+        changes = self.media_changes - changes_before
+        if REGISTRY.enabled:
+            REGISTRY.counter("tape.write_bytes").inc(len(chunk))
+            REGISTRY.counter("tape.writes").inc()
+            if changes:
+                REGISTRY.counter("tape.media_changes").inc(changes)
+        return changes
 
     # -- reading ---------------------------------------------------------
 
@@ -148,6 +155,9 @@ class TapeDrive:
 
         Raises :class:`TapeError` if the stream ends early.
         """
+        if REGISTRY.enabled:
+            REGISTRY.counter("tape.read_bytes").inc(nbytes)
+            REGISTRY.counter("tape.reads").inc()
         if self.read_cartridge_index < len(self.stacker.cartridges):
             cartridge = self.stacker.cartridges[self.read_cartridge_index]
             start = self.read_offset

@@ -22,6 +22,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from repro.obs.metrics import REGISTRY
+
 
 class BlockCache:
     """A simple LRU of block contents."""
@@ -39,9 +41,13 @@ class BlockCache:
         data = self._blocks.get(vbn)
         if data is None:
             self.misses += 1
+            if REGISTRY.enabled:
+                REGISTRY.counter("cache.misses").inc()
             return None
         self._blocks.move_to_end(vbn)
         self.hits += 1
+        if REGISTRY.enabled:
+            REGISTRY.counter("cache.hits").inc()
         return data
 
     def peek(self, vbn: int) -> bool:
@@ -77,6 +83,8 @@ class BlockCache:
         """
         blocks = self._blocks
         if not self.peek_run(start_vbn, nblocks):
+            if REGISTRY.enabled:
+                REGISTRY.counter("cache.run_misses").inc()
             return None
         out = bytearray(nblocks * block_size)
         move = blocks.move_to_end
@@ -86,6 +94,8 @@ class BlockCache:
             move(vbn)
             offset += block_size
         self.hits += nblocks
+        if REGISTRY.enabled:
+            REGISTRY.counter("cache.hits").inc(nblocks)
         return out
 
     def put_run(self, start_vbn: int, data, block_size: int) -> None:

@@ -106,3 +106,101 @@ def test_restore_survives_trailing_garbage_on_tape():
     drain_engine(LogicalRestore(target, drive).run())
     assert target.read_file("/docs/readme.txt") == \
         fs.read_file("/docs/readme.txt")
+
+
+# ---------------------------------------------------------------------------
+# Observability on error paths: failures leave a trace event + counters
+# ---------------------------------------------------------------------------
+
+class _ObservedFailure:
+    """Enable tracing + metrics for one engine run; restore on exit."""
+
+    def __enter__(self):
+        from repro.obs import REGISTRY, Tracer, set_tracer
+
+        self.registry = REGISTRY
+        self.tracer = Tracer()
+        set_tracer(self.tracer)
+        REGISTRY.reset()
+        REGISTRY.enabled = True
+        return self
+
+    def __exit__(self, *exc_info):
+        from repro.obs import set_tracer
+
+        set_tracer(None)
+        self.registry.reset()
+        self.registry.enabled = False
+
+    def error_events(self):
+        return [e for e in self.tracer.events() if e.get("cat") == "error"]
+
+    def counters(self):
+        return self.registry.snapshot()["counters"]
+
+
+def test_dump_tape_failure_emits_trace_and_metrics():
+    fs = make_fs()
+    populate_small_tree(fs)
+    drive = TapeDrive(TapeStacker.with_blank_tapes(1, capacity=16 * KB,
+                                                   name="onecart"))
+    with _ObservedFailure() as obs:
+        with pytest.raises(TapeError):
+            drain_engine(LogicalDump(fs, drive, dumpdates=DumpDates()).run())
+        counters = obs.counters()
+        errors = obs.error_events()
+    assert counters["backup.errors"] == 1
+    assert counters["backup.errors.logical.dump"] == 1
+    # The write attempts leading up to the failure were observed too.
+    assert counters["tape.writes"] >= 1
+    assert len(errors) == 1
+    assert errors[0]["name"] == "error:logical.dump"
+    assert errors[0]["args"]["type"] == "TapeError"
+    assert errors[0]["args"]["message"]
+
+
+def test_image_dump_tape_failure_scopes_its_counter():
+    fs = make_fs()
+    populate_small_tree(fs)
+    drive = TapeDrive(TapeStacker.with_blank_tapes(1, capacity=16 * KB,
+                                                   name="onecart"))
+    with _ObservedFailure() as obs:
+        with pytest.raises(TapeError):
+            drain_engine(ImageDump(fs, drive).run())
+        counters = obs.counters()
+        errors = obs.error_events()
+    assert counters["backup.errors.image.dump"] == 1
+    assert "backup.errors.logical.dump" not in counters
+    assert errors[0]["name"] == "error:image.dump"
+
+
+def test_restore_no_space_emits_trace_and_metrics():
+    source = make_fs(name="src")
+    source.create("/big", b"B" * (4 * MB))
+    drive = make_drive()
+    drain_engine(LogicalDump(source, drive, dumpdates=DumpDates()).run())
+    target = make_fs(ngroups=1, ndata=2, blocks_per_disk=300, name="tiny")
+    with _ObservedFailure() as obs:
+        with pytest.raises(NoSpaceError):
+            drain_engine(LogicalRestore(target, drive).run())
+        counters = obs.counters()
+        errors = obs.error_events()
+    assert counters["backup.errors"] == 1
+    assert counters["backup.errors.logical.restore"] == 1
+    # Tape reads happened before the target filled up.
+    assert counters["tape.reads"] >= 1
+    assert errors[0]["name"] == "error:logical.restore"
+    assert errors[0]["args"]["type"] == "NoSpaceError"
+
+
+def test_successful_dump_emits_no_error_observations():
+    fs = make_fs()
+    populate_small_tree(fs)
+    with _ObservedFailure() as obs:
+        drain_engine(LogicalDump(fs, make_drive(),
+                                 dumpdates=DumpDates()).run())
+        counters = obs.counters()
+        errors = obs.error_events()
+    assert errors == []
+    assert "backup.errors" not in counters
+    assert counters["tape.write_bytes"] > 0

@@ -37,6 +37,17 @@ def test_check_regression_flags_slowdown():
                                       tolerance=0.2) == []
 
 
+def test_null_observability_overhead_gate():
+    """A disabled gate check must cost <= 3% of the cheapest guarded op.
+
+    ``bench_obs_null`` measures both sides within one process, so machine
+    speed cancels; take the best of three to shrug off scheduler noise.
+    """
+    best = min((wallclock.bench_obs_null() for _ in range(3)),
+               key=lambda entry: entry["overhead_fraction"])
+    assert best["overhead_fraction"] <= 0.03, best
+
+
 def test_smoke_harness_vs_committed_baseline():
     baseline_path = wallclock.default_baseline_path()
     if not os.path.exists(baseline_path):

@@ -1,0 +1,18 @@
+"""Shared cleanup for the observability tests.
+
+Every test here may enable the shared registry or install a tracer;
+this fixture guarantees both are back to the disabled defaults before
+the next test (or the rest of the suite) runs.
+"""
+
+import pytest
+
+from repro.obs import REGISTRY, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    yield
+    set_tracer(None)
+    REGISTRY.reset()
+    REGISTRY.enabled = False

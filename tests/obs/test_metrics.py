@@ -1,0 +1,216 @@
+"""Metrics registry invariants under seeded-random workloads.
+
+Rather than hand-picked examples, these tests drive the instruments with
+reproducible pseudo-random operation sequences and assert the structural
+invariants the rest of the plane relies on: counters never decrease,
+histogram buckets always sum to the observation count, snapshots
+round-trip exactly, and merging two registries equals running their
+workloads in one.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    enable_metrics,
+)
+
+SEEDS = [0, 7, 991, 424242]
+
+
+def random_workload(registry, rng, steps=400):
+    """Apply a reproducible mix of operations; returns expected sums."""
+    counter_sums = {}
+    observations = {}
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.4:
+            name = "c%d" % rng.randrange(4)
+            amount = rng.choice([1, 1, 2, 0.5, 100])
+            registry.counter(name).inc(amount)
+            counter_sums[name] = counter_sums.get(name, 0.0) + amount
+        elif roll < 0.6:
+            name = "g%d" % rng.randrange(2)
+            registry.gauge(name).set(rng.randrange(1000))
+        else:
+            name = "h%d" % rng.randrange(3)
+            value = rng.uniform(-2.0, 300.0)
+            registry.histogram(name, (1, 4, 16, 64, 256)).observe(value)
+            observations.setdefault(name, []).append(value)
+    return counter_sums, observations
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_counters_match_running_sums(seed):
+    registry = MetricsRegistry(enabled=True)
+    counter_sums, _ = random_workload(registry, random.Random(seed))
+    snap = registry.snapshot()
+    for name, expected in counter_sums.items():
+        assert snap["counters"][name] == pytest.approx(expected)
+
+
+def test_counter_rejects_decrease():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("c").inc(3)
+    with pytest.raises(ValueError):
+        registry.counter("c").inc(-1)
+    assert registry.counter("c").value == 3
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_histogram_buckets_sum_to_count(seed):
+    registry = MetricsRegistry(enabled=True)
+    _, observations = random_workload(registry, random.Random(seed))
+    snap = registry.snapshot()
+    for name, values in observations.items():
+        data = snap["histograms"][name]
+        assert sum(data["counts"]) == data["count"] == len(values)
+        assert data["total"] == pytest.approx(sum(values))
+        # Recompute bucket placement independently.
+        expected = [0] * (len(data["bounds"]) + 1)
+        for value in values:
+            index = 0
+            for bound in data["bounds"]:
+                if value <= bound:
+                    break
+                index += 1
+            expected[index] += 1
+        assert data["counts"] == expected
+
+
+def test_histogram_declaration_rules():
+    registry = MetricsRegistry(enabled=True)
+    with pytest.raises(ValueError):
+        registry.histogram("missing")  # no bounds on first use
+    with pytest.raises(ValueError):
+        Histogram("bad", ())  # empty bounds
+    with pytest.raises(ValueError):
+        Histogram("bad", (4, 1))  # unsorted bounds
+    registry.histogram("h", (1, 2))
+    with pytest.raises(ValueError):
+        registry.histogram("h", (1, 3))  # conflicting re-declaration
+    assert registry.histogram("h") is registry.histogram("h", (1, 2))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_snapshot_round_trips_exactly(seed):
+    registry = MetricsRegistry(enabled=True)
+    random_workload(registry, random.Random(seed))
+    snap = registry.snapshot()
+    rebuilt = MetricsRegistry.from_snapshot(snap)
+    assert rebuilt.snapshot() == snap
+    # Snapshots are plain JSON types with deterministic key order.
+    import json
+    assert json.loads(json.dumps(snap)) == snap
+    assert list(snap["counters"]) == sorted(snap["counters"])
+    assert list(snap["histograms"]) == sorted(snap["histograms"])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_merge_equals_single_registry_run(seed):
+    """Splitting a workload across two registries and merging is exact."""
+    combined = MetricsRegistry(enabled=True)
+    random_workload(combined, random.Random(seed), steps=300)
+    random_workload(combined, random.Random(seed + 1), steps=300)
+
+    part_a = MetricsRegistry(enabled=True)
+    random_workload(part_a, random.Random(seed), steps=300)
+    part_b = MetricsRegistry(enabled=True)
+    random_workload(part_b, random.Random(seed + 1), steps=300)
+    merged = MetricsRegistry(enabled=True)
+    merged.merge(part_a.snapshot())
+    merged.merge(part_b.snapshot())
+
+    got, want = merged.snapshot(), combined.snapshot()
+    # Bucket counts merge exactly; totals are float sums whose order
+    # differs between the split and combined runs, hence approx.
+    assert set(got["histograms"]) == set(want["histograms"])
+    for name, data in want["histograms"].items():
+        assert got["histograms"][name]["counts"] == data["counts"]
+        assert got["histograms"][name]["count"] == data["count"]
+        assert got["histograms"][name]["bounds"] == data["bounds"]
+        assert got["histograms"][name]["total"] == pytest.approx(data["total"])
+    assert set(got["counters"]) == set(want["counters"])
+    for name, value in want["counters"].items():
+        assert got["counters"][name] == pytest.approx(value)
+    # Gauges are last-writer-wins: merged must equal part_b's where set.
+    for name, value in part_b.snapshot()["gauges"].items():
+        assert got["gauges"][name] == value
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_diff_snapshots_recovers_the_delta(seed):
+    """before + diff == after, the contract the pool workers rely on."""
+    registry = MetricsRegistry(enabled=True)
+    random_workload(registry, random.Random(seed), steps=200)
+    before = registry.snapshot()
+    random_workload(registry, random.Random(seed + 99), steps=200)
+    after = registry.snapshot()
+
+    delta = diff_snapshots(before, after)
+    rebuilt = MetricsRegistry.from_snapshot(before)
+    rebuilt.merge(delta)
+    got = rebuilt.snapshot()
+    assert set(got["histograms"]) == set(after["histograms"])
+    for name, data in after["histograms"].items():
+        assert got["histograms"][name]["counts"] == data["counts"]
+        assert got["histograms"][name]["count"] == data["count"]
+        assert got["histograms"][name]["total"] == pytest.approx(data["total"])
+    assert set(got["counters"]) == set(after["counters"])
+    for name, value in after["counters"].items():
+        assert got["counters"][name] == pytest.approx(value)
+    assert got["gauges"] == after["gauges"]
+    # The delta itself carries no zero-change entries.
+    assert all(delta["counters"].values())
+    for data in delta["histograms"].values():
+        assert any(data["counts"])
+
+
+def test_diff_snapshots_of_identical_snapshots_is_empty():
+    registry = MetricsRegistry(enabled=True)
+    random_workload(registry, random.Random(3), steps=100)
+    snap = registry.snapshot()
+    delta = diff_snapshots(snap, snap)
+    assert delta["counters"] == {}
+    assert delta["histograms"] == {}
+
+
+def test_reset_clears_instruments_but_not_enabled():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("c").inc()
+    registry.reset()
+    assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}}
+    assert registry.enabled
+
+
+def test_to_text_is_deterministic_and_complete():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("tape.writes").inc(3)
+    registry.gauge("sim.events_scheduled").set(42)
+    hist = registry.histogram("disk.read_run_blocks", (1, 4))
+    hist.observe(2)
+    hist.observe(9)
+    text = registry.to_text()
+    assert text == registry.to_text()
+    assert "counter   tape.writes" in text
+    assert "gauge     sim.events_scheduled" in text
+    assert "histogram disk.read_run_blocks" in text
+    assert "(-inf, 1]" in text and "(4, +inf)" in text
+
+
+def test_global_registry_toggle():
+    assert REGISTRY.enabled is False  # the suite-wide default
+    try:
+        assert enable_metrics() is REGISTRY
+        assert REGISTRY.enabled
+    finally:
+        enable_metrics(False)
+    assert REGISTRY.enabled is False

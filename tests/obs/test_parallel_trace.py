@@ -1,0 +1,96 @@
+"""Parallel observability: worker event/metric shipping is jobs-invariant.
+
+The pool installs a fresh tracer in each worker (serial and forked
+alike), ships events and a per-task metrics delta home with the result,
+and merges everything in *declaration* order under a synthetic pid — so
+a traced ``--jobs 2`` run produces byte-for-byte the stream a serial run
+does.  Task functions live at module top level so they pickle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.run_all import generate_body
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer, get_tracer, set_tracer
+from repro.parallel import TaskPool, TaskSpec, fork_available
+
+JOBS = [1] + ([2] if fork_available() else [])
+
+
+def traced_task(value):
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.begin("task", cat="test", ts=float(value), tid="lane")
+        tracer.instant("mark", cat="test", ts=float(value) + 0.25,
+                       tid="lane", args={"value": value})
+        tracer.end("task", ts=float(value) + 1.0, tid="lane")
+    if REGISTRY.enabled:
+        REGISTRY.counter("test.tasks").inc()
+        REGISTRY.counter("test.sum").inc(value)
+        REGISTRY.histogram("test.values", (2, 5)).observe(value)
+    return value * value
+
+
+def _run_observed(jobs, nvalues=5):
+    """Run the task grid under a fresh tracer+registry; return the state."""
+    set_tracer(Tracer())
+    REGISTRY.reset()
+    REGISTRY.enabled = True
+    try:
+        specs = [TaskSpec("t%d" % value, traced_task, (value,))
+                 for value in range(nvalues)]
+        values = TaskPool(jobs).map_values(specs)
+        events = get_tracer().take_events()
+        snapshot = REGISTRY.snapshot()
+    finally:
+        set_tracer(None)
+        REGISTRY.reset()
+        REGISTRY.enabled = False
+    return values, events, snapshot
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+def test_worker_events_merge_in_declaration_order(jobs):
+    values, events, snapshot = _run_observed(jobs)
+    assert values == [v * v for v in range(5)]
+    # Three events per task, tasks in declaration order, pid = index + 1.
+    assert len(events) == 15
+    marks = [e for e in events if e["name"] == "mark"]
+    assert [e["args"]["value"] for e in marks] == [0, 1, 2, 3, 4]
+    assert [e["pid"] for e in marks] == [1, 2, 3, 4, 5]
+    # Metrics aggregated across every task exactly once.
+    assert snapshot["counters"]["test.tasks"] == 5
+    assert snapshot["counters"]["test.sum"] == sum(range(5))
+    assert snapshot["histograms"]["test.values"]["count"] == 5
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+def test_streams_and_metrics_identical_serial_vs_jobs2():
+    serial = _run_observed(1)
+    parallel = _run_observed(2)
+    assert parallel == serial
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+def test_run_all_reduced_trace_is_jobs_invariant():
+    """The full reduced grid, traced, matches byte-for-byte across jobs."""
+    from repro.bench.configs import clear_env_cache
+
+    def traced_body(jobs):
+        clear_env_cache()
+        set_tracer(Tracer())
+        try:
+            body = generate_body(jobs=jobs, reduced=True,
+                                 echo=lambda *_a, **_k: None)
+            events = get_tracer().take_events()
+        finally:
+            set_tracer(None)
+        return body, events
+
+    serial_body, serial_events = traced_body(1)
+    parallel_body, parallel_events = traced_body(2)
+    assert parallel_body == serial_body
+    assert serial_events, "traced grid produced no events"
+    assert parallel_events == serial_events

@@ -1,0 +1,182 @@
+"""Tracer semantics: nesting discipline, ordering, merge, JSONL sink."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    read_jsonl,
+    set_tracer,
+    validate_spans,
+)
+
+
+def test_begin_end_pairs_and_ordering():
+    tracer = Tracer()
+    tracer.begin("outer", cat="t", ts=1.0, tid="a")
+    tracer.begin("inner", cat="t", ts=2.0, tid="a")
+    tracer.end("inner", ts=3.0, tid="a")
+    tracer.end("outer", ts=4.0, tid="a")
+    events = tracer.events()
+    assert [e["ph"] for e in events] == ["B", "B", "E", "E"]
+    assert [e["name"] for e in events] == ["outer", "inner", "inner", "outer"]
+    validate_spans(events)
+
+
+def test_end_mismatch_raises():
+    tracer = Tracer()
+    tracer.begin("outer", tid="a")
+    with pytest.raises(ValueError):
+        tracer.end("wrong", tid="a")
+    with pytest.raises(ValueError):
+        tracer.end("outer", tid="other-lane")
+
+
+def test_events_sort_by_ts_then_seq():
+    tracer = Tracer()
+    tracer.instant("late", ts=5.0)
+    tracer.instant("early", ts=1.0)
+    tracer.instant("early-too", ts=1.0)
+    names = [e["name"] for e in tracer.events()]
+    # Equal timestamps keep emission (seq) order — the sort is stable.
+    assert names == ["early", "early-too", "late"]
+
+
+def test_missing_ts_falls_back_to_sequence():
+    tracer = Tracer()
+    first = tracer.instant("one")
+    second = tracer.instant("two")
+    assert first["ts"] == first["seq"] == 0
+    assert second["ts"] == second["seq"] == 1
+    assert "wall" not in first  # wall-clock capture is opt-in
+
+
+def test_wall_clock_capture_is_opt_in():
+    stamps = iter([10.5, 11.25])
+    tracer = Tracer(wall_clock=lambda: next(stamps))
+    event = tracer.instant("x", ts=0.0)
+    assert event["wall"] == 10.5
+    assert tracer.instant("y", ts=0.0)["wall"] == 11.25
+
+
+def test_take_events_drains():
+    tracer = Tracer()
+    tracer.instant("x", ts=0.0)
+    assert [e["name"] for e in tracer.take_events()] == ["x"]
+    assert tracer.events() == []
+
+
+def test_add_events_resequences_and_overrides_pid():
+    worker = Tracer()
+    worker.complete("op", cat="op", ts=3.0, dur=1.0, tid="job")
+    worker.instant("mark", ts=4.0, tid="job")
+    shipped = worker.take_events()
+
+    parent = Tracer()
+    parent.instant("before", ts=0.0)
+    parent.add_events(shipped, pid=7)
+    events = parent.events()
+    assert [e["seq"] for e in events] == [0, 1, 2]
+    assert [e.get("pid") for e in events] == [0, 7, 7]
+    # The shipped dicts were copied, not adopted.
+    assert shipped[0]["pid"] == 0
+
+
+@pytest.mark.parametrize("seed", [0, 17, 4242])
+def test_random_well_nested_streams_validate(seed):
+    """Seeded random push/pop across lanes always yields a valid stream."""
+    rng = random.Random(seed)
+    tracer = Tracer()
+    open_counts = {"a": [], "b": [], "c": []}
+    for step in range(300):
+        tid = rng.choice(list(open_counts))
+        stack = open_counts[tid]
+        if stack and rng.random() < 0.45:
+            tracer.end(stack.pop(), ts=float(step), tid=tid)
+        else:
+            name = "s%d" % step
+            stack.append(name)
+            tracer.begin(name, cat="t", ts=float(step), tid=tid)
+    for tid, stack in open_counts.items():
+        for step, name in enumerate(reversed(stack)):
+            tracer.end(name, ts=1000.0 + step, tid=tid)
+    validate_spans(tracer.events())
+
+
+def test_validate_spans_rejects_malformed_streams():
+    with pytest.raises(ValueError):
+        validate_spans([{"ph": "E", "name": "x", "pid": 0, "tid": 0}])
+    with pytest.raises(ValueError):
+        validate_spans([
+            {"ph": "B", "name": "a", "pid": 0, "tid": 0},
+            {"ph": "E", "name": "b", "pid": 0, "tid": 0},
+        ])
+    with pytest.raises(ValueError):  # left open
+        validate_spans([{"ph": "B", "name": "a", "pid": 0, "tid": 0}])
+    # Lanes are independent: pid 1's spans don't close pid 0's.
+    validate_spans([
+        {"ph": "B", "name": "a", "pid": 0, "tid": 0},
+        {"ph": "B", "name": "a", "pid": 1, "tid": 0},
+        {"ph": "E", "name": "a", "pid": 1, "tid": 0},
+        {"ph": "E", "name": "a", "pid": 0, "tid": 0},
+    ])
+
+
+def test_jsonl_round_trip_and_footer(tmp_path):
+    tracer = Tracer()
+    tracer.complete("op", cat="op", ts=1.5, dur=0.5, tid="j",
+                    args={"stage": "s"})
+    tracer.instant("mark", cat="sim", ts=2.0, tid="sim")
+    path = str(tmp_path / "t.jsonl")
+    assert tracer.write_jsonl(path) == 2
+    events = read_jsonl(path)
+    assert events == tracer.events()
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    assert len(lines) == 3
+    footer = json.loads(lines[-1])
+    assert footer == {"events": 2, "ph": "footer", "schema": 1}
+    # Keys are sorted in every line — byte-stable output.
+    for line in lines:
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+
+def test_read_jsonl_rejects_bad_footer(tmp_path):
+    path = str(tmp_path / "bad.jsonl")
+    with open(path, "w") as handle:
+        handle.write('{"ph": "i", "name": "x", "ts": 0, "seq": 0}\n')
+    with pytest.raises(ValueError):
+        read_jsonl(path)  # no footer at all
+    with open(path, "a") as handle:
+        handle.write('{"ph": "footer", "events": 5, "schema": 1}\n')
+    with pytest.raises(ValueError):
+        read_jsonl(path)  # footer count disagrees
+
+
+def test_null_tracer_is_inert():
+    null = NullTracer()
+    assert null.enabled is False
+    assert null.begin("x") is None
+    assert null.end("x") is None
+    assert null.complete("x") is None
+    assert null.instant("x") is None
+    assert null.events() == [] and null.take_events() == []
+    null.add_events([{"ph": "i"}])
+    with pytest.raises(RuntimeError):
+        null.write_jsonl("/dev/null")
+
+
+def test_global_tracer_install_and_reset():
+    assert get_tracer() is NULL_TRACER
+    tracer = Tracer()
+    set_tracer(tracer)
+    assert get_tracer() is tracer
+    set_tracer(None)
+    assert get_tracer() is NULL_TRACER

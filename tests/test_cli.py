@@ -275,3 +275,69 @@ def test_run_campaign_rejects_bad_volume_spec(workdir, capsys):
     assert run(["run-campaign", "cat.json", "--pool", "pool.med",
                 "--volume", "home", "--days", 1]) == 2
     assert "NAME=STRATEGY" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Observability flags and the trace subcommand
+# ---------------------------------------------------------------------------
+
+def test_dump_with_trace_chrome_and_metrics(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    run(["populate", "vol.bin", "--bytes", "1MB", "--seed", 5])
+    assert run(["dump", "vol.bin", "t0.tape", "--level", 0,
+                "--trace", "t.jsonl", "--trace-chrome", "t.chrome.json",
+                "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "dump: simulated elapsed" in out
+    assert "Creating snapshot" in out       # the per-phase summary table
+    assert "counter   tape.write_bytes" in out  # the metrics text dump
+    assert os.path.exists("t.jsonl") and os.path.exists("t.chrome.json")
+
+    # The saved trace validates, summarizes, and exports.
+    assert run(["trace", "validate", "t.jsonl"]) == 0
+    assert "spans well-formed" in capsys.readouterr().out
+    assert run(["trace", "summary", "t.jsonl"]) == 0
+    assert "Dumping files" in capsys.readouterr().out
+    assert run(["trace", "export", "t.jsonl", "--out", "x.json"]) == 0
+    capsys.readouterr()
+    doc = json.load(open("x.json"))
+    assert any(e["ph"] == "M" for e in doc["traceEvents"])
+
+    # The dump it traced is still a real dump.
+    assert run(["restore", "t0.tape", "new.bin", "--mkfs"]) == 0
+    assert run(["verify", "new.bin", "t0.tape"]) == 0
+
+
+def test_metrics_snapshot_file_and_disabled_default(workdir, capsys):
+    run(["mkfs", "vol.bin"])
+    run(["populate", "vol.bin", "--bytes", "512KB", "--seed", 2])
+    assert run(["image-dump", "vol.bin", "i0.tape",
+                "--metrics", "m.json"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics: snapshot -> m.json" in out
+    snap = json.load(open("m.json"))
+    assert snap["counters"]["tape.write_bytes"] > 0
+    assert snap["counters"]["executor.jobs"] == 1
+
+    # Without the flags the plane stays dark: no summary, no spans.
+    assert run(["image-restore", "i0.tape", "r.bin"]) == 0
+    out = capsys.readouterr().out
+    assert "simulated elapsed" not in out
+    assert "counter" not in out
+
+
+def test_run_campaign_with_trace(workdir, capsys):
+    assert run(["run-campaign", "cat.json", "--pool", "pool.med",
+                "--volume", "home=logical", "--days", 2,
+                "--schedule", "gfs:4x2", "--bytes", "256KB",
+                "--tapes", 10, "--tape-capacity", "4MB",
+                "--trace", "c.jsonl"]) == 0
+    capsys.readouterr()
+    assert run(["trace", "validate", "c.jsonl"]) == 0
+    capsys.readouterr()
+    from repro.obs import read_jsonl
+    events = read_jsonl("c.jsonl")
+    spans = [e for e in events if e.get("cat") == "campaign"]
+    assert len(spans) == 2  # one per campaign day
+    assert {e["tid"] for e in spans} == {"home"}
+    assert all("level" in e["args"] and "day" in e["args"] for e in spans)
