@@ -28,7 +28,7 @@ from repro.errors import ReproError
 from repro.obs import observe_failure
 from repro.dumpfmt.records import FLAG_HAS_ACL, FLAG_SUBTREE_ROOT, RecordHeader, TapeLabel
 from repro.dumpfmt.spec import SEGMENT_SIZE, TS_INODE
-from repro.dumpfmt.stream import DumpStreamWriter, data_to_segments
+from repro.dumpfmt.stream import DumpStreamWriter
 from repro.perf.ops import (
     CpuOp,
     DiskReadOp,
@@ -312,7 +312,7 @@ class LogicalDump:
             if ino == root_ino:
                 attrs.flags |= FLAG_SUBTREE_ROOT
             writer.begin_inode(attrs)
-            writer.feed_segments(data_to_segments(data))
+            writer.feed_data(data)
             writer.end_inode()
             acl = source.get_acl_by_ino(ino)
             if acl:
@@ -393,18 +393,17 @@ class LogicalDump:
                 # Holes before this piece.
                 hole_segments = min(fbn * _SEGMENTS_PER_BLOCK, total_segments) - fed
                 if hole_segments > 0:
-                    writer.feed_segments([None] * hole_segments)
+                    writer.feed_holes(hole_segments)
                     fed += hole_segments
-                segments = []
-                for index in range(count * _SEGMENTS_PER_BLOCK):
-                    if fed + len(segments) >= total_segments:
-                        break
-                    segments.append(
-                        data[index * SEGMENT_SIZE : (index + 1) * SEGMENT_SIZE]
-                        .ljust(SEGMENT_SIZE, b"\0")
+                # The whole piece in one run (not one object per KB); the
+                # file's final segment, if short, is padded at emission.
+                want = min(count * _SEGMENTS_PER_BLOCK, total_segments - fed)
+                if want > 0:
+                    nbytes = want * SEGMENT_SIZE
+                    writer.feed_data(
+                        data if nbytes >= len(data) else data[:nbytes], want
                     )
-                writer.feed_segments(segments)
-                fed += len(segments)
+                fed += want
                 yield CpuOp(count * self.costs.dump_data_block,
                             stage=STAGE_FILES, side="disk")
                 for op in self._tape_ops(writer, STAGE_FILES):

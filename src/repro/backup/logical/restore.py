@@ -45,6 +45,51 @@ STAGE_FILL = "Filling in data"
 _SEGMENTS_PER_BLOCK = BLOCK_SIZE // SEGMENT_SIZE
 
 
+def _block_runs(entry: "InodeEntry"):
+    """Yield ``(first_block, padded_bytes_or_None, nblocks)`` per stream run.
+
+    A block is present when any of its segments carries data; present
+    runs come out zero padded to whole 4 KB blocks.  Stream runs from the
+    dump writer always start on a block boundary, so the fast path maps
+    each run to blocks directly; anything unaligned falls back to the
+    per-segment walk (identical block classification).
+    """
+    runs = entry.runs
+    position = 0
+    aligned = True
+    for count, _buf in runs:
+        if position % _SEGMENTS_PER_BLOCK:
+            aligned = False
+            break
+        position += count
+    if aligned:
+        block = 0
+        for count, buf in runs:
+            if not count:
+                continue
+            bcount = (count + _SEGMENTS_PER_BLOCK - 1) // _SEGMENTS_PER_BLOCK
+            if buf is None:
+                yield block, None, bcount
+            else:
+                pad = bcount * BLOCK_SIZE - len(buf)
+                yield block, (buf + b"\0" * pad if pad > 0 else buf), bcount
+            block += bcount
+        return
+    segments = entry.segments
+    nblocks = (len(segments) + _SEGMENTS_PER_BLOCK - 1) // _SEGMENTS_PER_BLOCK
+    for block in range(nblocks):
+        window = segments[block * _SEGMENTS_PER_BLOCK
+                          : (block + 1) * _SEGMENTS_PER_BLOCK]
+        if all(seg is None for seg in window):
+            yield block, None, 1
+        else:
+            chunk = b"".join(
+                seg if seg is not None else bytes(SEGMENT_SIZE)
+                for seg in window
+            ).ljust(BLOCK_SIZE, b"\0")
+            yield block, chunk, 1
+
+
 class SymbolTable:
     """Maps dump inode numbers to their current paths in the target.
 
@@ -664,33 +709,59 @@ class LogicalRestore:
         for op in scope.drain_ops(STAGE_FILL):
             yield op
 
-        # Write runs of present 4 KB blocks, preserving holes.
-        segments = entry.segments
-        nblocks = (len(segments) + _SEGMENTS_PER_BLOCK - 1) // _SEGMENTS_PER_BLOCK
+        # Write runs of present 4 KB blocks, preserving holes.  Stream
+        # runs map straight onto write runs (split at 64 blocks, exactly
+        # where the per-block accumulator used to flush); a run that is
+        # not block aligned — which the writer never produces — falls back
+        # to the per-segment walk.
+        total_segments = entry.total_segments
+        nblocks = (total_segments + _SEGMENTS_PER_BLOCK - 1) // _SEGMENTS_PER_BLOCK
         run_start = None
         run_data: List[bytes] = []
-        for block in range(nblocks + 1):
-            window = segments[block * _SEGMENTS_PER_BLOCK : (block + 1) * _SEGMENTS_PER_BLOCK]
-            is_hole = (not window) or all(seg is None for seg in window)
-            if not is_hole and block < nblocks:
-                chunk = b"".join(
-                    seg if seg is not None else bytes(SEGMENT_SIZE) for seg in window
-                ).ljust(BLOCK_SIZE, b"\0")
+        run_blocks = 0
+
+        def flush():
+            data = b"".join(run_data)
+            with RecorderScope(volume) as scope:
+                self.fs.write_file(path, data, offset=run_start * BLOCK_SIZE)
+            return scope, CpuOp(run_blocks * block_cost, stage=STAGE_FILL,
+                                side="disk")
+
+        for block_index, blob, count in _block_runs(entry):
+            if blob is None:
+                if run_start is not None:
+                    scope, cpu = flush()
+                    yield cpu
+                    for op in scope.drain_ops(STAGE_FILL):
+                        yield op
+                    run_start = None
+                    run_data = []
+                    run_blocks = 0
+                continue
+            offset = 0
+            while count:
                 if run_start is None:
-                    run_start = block
-                run_data.append(chunk)
-                if len(run_data) < 64:
-                    continue
-            if run_start is not None:
-                data = b"".join(run_data)
-                with RecorderScope(volume) as scope:
-                    self.fs.write_file(path, data, offset=run_start * BLOCK_SIZE)
-                yield CpuOp(len(run_data) * block_cost, stage=STAGE_FILL,
-                            side="disk")
-                for op in scope.drain_ops(STAGE_FILL):
-                    yield op
-                run_start = None
-                run_data = []
+                    run_start = block_index
+                take = min(count, 64 - run_blocks)
+                run_data.append(blob[offset * BLOCK_SIZE
+                                     : (offset + take) * BLOCK_SIZE])
+                run_blocks += take
+                block_index += take
+                offset += take
+                count -= take
+                if run_blocks == 64:
+                    scope, cpu = flush()
+                    yield cpu
+                    for op in scope.drain_ops(STAGE_FILL):
+                        yield op
+                    run_start = None
+                    run_data = []
+                    run_blocks = 0
+        if run_start is not None:
+            scope, cpu = flush()
+            yield cpu
+            for op in scope.drain_ops(STAGE_FILL):
+                yield op
 
         with RecorderScope(volume) as scope:
             self.fs.truncate(path, header.size)

@@ -24,9 +24,9 @@ from repro.backup.common import MAX_RUN_BLOCKS, BackupResult
 from repro.obs import observe_failure
 from repro.backup.physical.image import ImageHeader, pack_chunk_header, pack_trailer
 from repro.backup.physical.incremental import (
-    coalesce_block_array,
-    incremental_block_set,
+    incremental_run_list,
     spans_with_readthrough,
+    split_runs,
 )
 from repro.perf.costs import CostModel
 from repro.perf.ops import CpuOp, DiskReadOp, PhaseBegin, PhaseEnd, SleepOp, TapeWriteOp
@@ -133,6 +133,10 @@ class ImageDump:
         result.cp_count = record.cp_count
 
         # -- block selection (the only file-system involvement) -------------
+        # Selection stays run-based end to end: the bit planes RLE straight
+        # into (start, count) runs, never a per-block array — at paper
+        # scale a plane is tens of millions of blocks but thousands of
+        # runs.
         blockmap = fs.blockmap
         if self.base_snapshot is not None:
             base = fs.fsinfo.find_snapshot(self.base_snapshot)
@@ -140,16 +144,17 @@ class ImageDump:
                 raise SnapshotError(
                     "base snapshot %r no longer exists" % self.base_snapshot
                 )
-            blocks = incremental_block_set(blockmap, record.snap_id, base.snap_id)
+            selected = incremental_run_list(blockmap, record.snap_id,
+                                            base.snap_id)
             result.incremental = True
             result.base_cp = base.cp_count
         elif self.include_snapshots:
             mask = np.uint32(1 << ACTIVE_PLANE)
             for snap in fs.fsinfo.snapshots:
                 mask |= np.uint32(1 << snap.snap_id)
-            blocks = np.flatnonzero(blockmap.words & mask)
+            selected = blockmap._mask_runs((blockmap.words & mask) != 0)
         else:
-            blocks = blockmap.plane_blocks(record.snap_id)
+            selected = blockmap.plane_runs(record.snap_id)
 
         # -- the root structure to install on restore -----------------------
         if self.include_snapshots:
@@ -172,7 +177,7 @@ class ImageDump:
             stage=STAGE_BLOCKS,
             side="disk",
         )
-        runs = coalesce_block_array(blocks, max_run=MAX_RUN_BLOCKS)
+        runs = split_runs(selected, max_run=MAX_RUN_BLOCKS)
         ndrives = len(self.drives)
         # Span size balances read-through efficiency against striping
         # granularity: every drive should get a healthy number of spans.

@@ -51,6 +51,34 @@ def incremental_block_set(blockmap: BlockMap, plane_b: int, plane_a: int) -> np.
     return blockmap.plane_difference(plane_b, plane_a)
 
 
+def incremental_run_list(blockmap: BlockMap, plane_b: int,
+                         plane_a: int) -> List[Tuple[int, int]]:
+    """The ``(start, count)`` runs an incremental dump of B over A must
+    include — the run-based form of :func:`incremental_block_set`."""
+    if plane_a == plane_b:
+        raise IncrementalError("base and incremental snapshots are the same")
+    return blockmap.plane_difference_runs(plane_b, plane_a)
+
+
+def split_runs(runs: List[Tuple[int, int]],
+               max_run: int = 0) -> List[Tuple[int, int]]:
+    """Bound run length to ``max_run`` blocks (0 = unbounded).
+
+    Produces exactly the runs :func:`coalesce_block_array` would for the
+    equivalent block array, without ever materializing one.
+    """
+    if not max_run:
+        return list(runs)
+    out: List[Tuple[int, int]] = []
+    for start, count in runs:
+        while count > max_run:
+            out.append((start, max_run))
+            start += max_run
+            count -= max_run
+        out.append((start, count))
+    return out
+
+
 def classify_all(blockmap: BlockMap, plane_a: int, plane_b: int) -> dict:
     """Counts of every Table 1 state across the whole volume."""
     words = blockmap.words
@@ -149,5 +177,7 @@ __all__ = [
     "classify_all",
     "coalesce_block_array",
     "incremental_block_set",
+    "incremental_run_list",
     "spans_with_readthrough",
+    "split_runs",
 ]

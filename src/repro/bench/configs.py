@@ -39,6 +39,7 @@ class EliotConfig:
         qtrees: int = 0,
         tape_capacity: int = 35 * GB,
         tapes_per_stacker: int = 8,
+        data_cap: Optional[int] = None,
     ):
         self.scale = scale
         self.seed = seed
@@ -47,6 +48,11 @@ class EliotConfig:
         self.qtrees = qtrees
         self.tape_capacity = tape_capacity
         self.tapes_per_stacker = tapes_per_stacker
+        # Cap on the bytes actually populated, independent of geometry.
+        # Lets a benchmark build the *paper-size* (scale=1) address space
+        # — lazily-chunked disks make the empty space free — while the
+        # resident data set stays CI-sized.
+        self.data_cap = data_cap
 
     @property
     def home_bytes(self) -> int:
@@ -55,6 +61,18 @@ class EliotConfig:
     @property
     def rlse_bytes(self) -> int:
         return paper.RLSE_BYTES // self.scale
+
+    @property
+    def home_data_bytes(self) -> int:
+        if self.data_cap is None:
+            return self.home_bytes
+        return min(self.home_bytes, self.data_cap)
+
+    @property
+    def rlse_data_bytes(self) -> int:
+        if self.data_cap is None:
+            return self.rlse_bytes
+        return min(self.rlse_bytes, self.data_cap)
 
     def cost_model(self):
         """Cost model with the fixed snapshot stages scaled like the data.
@@ -75,7 +93,7 @@ class EliotConfig:
     def cache_key(self) -> tuple:
         return (
             self.scale, self.seed, self.aging_rounds,
-            self.churn_fraction, self.qtrees,
+            self.churn_fraction, self.qtrees, self.data_cap,
         )
 
 
@@ -103,7 +121,7 @@ class ExperimentEnv:
         from repro.workload.distributions import FileSizeDistribution
 
         sizes = FileSizeDistribution(
-            max_bytes=max(256 * 1024, self.config.home_bytes // 24)
+            max_bytes=max(256 * 1024, self.config.home_data_bytes // 24)
         )
         return WorkloadGenerator(sizes=sizes, seed=seed)
 
@@ -120,11 +138,12 @@ class ExperimentEnv:
             from repro.backup.jobs import split_into_qtrees
 
             self.qtree_paths = split_into_qtrees(
-                self.home_fs, generator, config.home_bytes, config.qtrees
+                self.home_fs, generator, config.home_data_bytes, config.qtrees
             )
             self.home_tree = None
         else:
-            self.home_tree = generator.populate(self.home_fs, config.home_bytes)
+            self.home_tree = generator.populate(self.home_fs,
+                                                config.home_data_bytes)
         if config.aging_rounds:
             tree = self.home_tree
             if tree is None:
@@ -155,7 +174,7 @@ class ExperimentEnv:
         self.rlse_volume = RaidVolume(geometry, name="rlse")
         self.rlse_fs = WaflFilesystem.format(self.rlse_volume)
         generator = self._generator(config.seed + 77)
-        self.rlse_tree = generator.populate(self.rlse_fs, config.rlse_bytes)
+        self.rlse_tree = generator.populate(self.rlse_fs, config.rlse_data_bytes)
         if config.aging_rounds:
             age_filesystem(
                 self.rlse_fs, self.rlse_tree,

@@ -40,6 +40,9 @@ BASELINE_NAME = "BENCH_wallclock.json"
 SMOKE_SCALE = 16000
 SMOKE_AGING_ROUNDS = 1
 
+# Bytes populated for the paper-geometry (scale=1) fullscale macro.
+FULLSCALE_DATA_CAP = 192 * MB
+
 
 def default_baseline_path() -> str:
     """``BENCH_wallclock.json`` at the repository root (src/../..)."""
@@ -325,6 +328,13 @@ def _macro_config(mode: str):
 
     if mode == "smoke":
         return EliotConfig(scale=SMOKE_SCALE, aging_rounds=SMOKE_AGING_ROUNDS)
+    if mode == "fullscale":
+        # The paper's geometry (188 GB address space, 31 spindles) with
+        # the populated set capped: the chunked stores make the empty
+        # space free, so this exercises paper-scale addressing, block-map
+        # size, and extent paths at a CI-sized data volume.
+        return EliotConfig(scale=1, data_cap=FULLSCALE_DATA_CAP,
+                           aging_rounds=1)
     return EliotConfig()
 
 
@@ -398,14 +408,35 @@ def bench_parallel_run_all(jobs: int = 1) -> Dict[str, float]:
 # Harness driver
 # ---------------------------------------------------------------------------
 
-def run_harness(mode: str = "smoke", quiet: bool = True) -> Dict:
+def _profiled(name: str, fn: Callable[[], Dict], top: int) -> Dict:
+    """Run ``fn`` under cProfile, dump its top-``top`` hotspots to stderr."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fn()
+    profiler.disable()
+    print("--- profile: %s (top %d by cumulative time) ---" % (name, top),
+          file=sys.stderr)
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result
+
+
+def run_harness(mode: str = "smoke", quiet: bool = True,
+                profile: Optional[int] = None) -> Dict:
     """Run calibration + micro benchmarks + the mode's macro benchmarks.
 
     ``full`` mode includes the smoke macro as well, so a full baseline
-    carries every key a smoke check needs.
+    carries every key a smoke check needs.  ``fullscale`` runs the micros
+    plus the paper-geometry macro only.  With ``profile`` set, each
+    benchmark runs once under cProfile and its top-N hotspots go to
+    stderr (profiled timings are *not* comparable to unprofiled ones).
     """
-    if mode not in ("smoke", "full"):
-        raise ValueError("mode must be 'smoke' or 'full', got %r" % (mode,))
+    if mode not in ("smoke", "full", "fullscale"):
+        raise ValueError(
+            "mode must be 'smoke', 'full' or 'fullscale', got %r" % (mode,))
 
     def note(text: str) -> None:
         if not quiet:
@@ -420,17 +451,34 @@ def run_harness(mode: str = "smoke", quiet: bool = True) -> Dict:
     }
     for name, bench in MICRO_BENCHMARKS.items():
         note("running %s ..." % name)
+        if profile:
+            report["benchmarks"][name] = _profiled(name, bench, profile)
+            continue
         # Best of three: micro runs are fractions of a second and a single
         # scheduler hiccup would dominate them.
         report["benchmarks"][name] = min(
             (bench() for _ in range(3)), key=lambda entry: entry["seconds"]
         )
     note("running parallel.run_all_smoke ...")
-    report["benchmarks"]["parallel.run_all_smoke"] = bench_parallel_run_all(1)
-    macro_modes = ["smoke"] if mode == "smoke" else ["smoke", "full"]
+    if profile:
+        report["benchmarks"]["parallel.run_all_smoke"] = _profiled(
+            "parallel.run_all_smoke", bench_parallel_run_all, profile)
+    else:
+        report["benchmarks"]["parallel.run_all_smoke"] = bench_parallel_run_all(1)
+    if mode == "smoke":
+        macro_modes = ["smoke"]
+    elif mode == "full":
+        macro_modes = ["smoke", "full"]
+    else:
+        macro_modes = ["fullscale"]
     for macro_mode in macro_modes:
         note("running macro (%s) ..." % macro_mode)
-        report["benchmarks"].update(bench_macro(macro_mode))
+        run_macro = lambda m=macro_mode: bench_macro(m)  # noqa: E731
+        if profile:
+            report["benchmarks"].update(
+                _profiled("macro.%s" % macro_mode, run_macro, profile))
+        else:
+            report["benchmarks"].update(run_macro())
     return report
 
 
@@ -464,6 +512,25 @@ def check_regression(current: Dict, baseline: Dict,
     return failures
 
 
+def merge_baseline(existing: Dict, report: Dict) -> Dict:
+    """Fold a new report into an existing baseline without clobbering it.
+
+    Committed baseline numbers are load-bearing — regression gates and
+    speedup targets reference them — so an existing benchmark entry (and
+    the calibration it was normalized against) is never overwritten.
+    Only benchmarks the baseline has never seen are added.
+    """
+    merged = dict(existing)
+    merged["benchmarks"] = dict(existing.get("benchmarks", {}))
+    for name, entry in report["benchmarks"].items():
+        if name not in merged["benchmarks"]:
+            merged["benchmarks"][name] = entry
+    merged.setdefault("calibration_seconds", report["calibration_seconds"])
+    merged.setdefault("schema", report["schema"])
+    merged.setdefault("mode", report["mode"])
+    return merged
+
+
 def format_report(report: Dict) -> str:
     lines = [
         "wall-clock report (mode=%s, calibration=%.4fs)"
@@ -482,12 +549,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.bench.wallclock",
         description="Wall-clock benchmark harness and regression gate.",
     )
-    parser.add_argument("--mode", choices=("smoke", "full"), default="smoke")
+    parser.add_argument("--mode", choices=("smoke", "full", "fullscale"),
+                        default="smoke")
+    parser.add_argument("--profile", nargs="?", const=25, default=None,
+                        type=int, metavar="N",
+                        help="run each benchmark once under cProfile and"
+                             " dump its top-N hotspots to stderr")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON path (default: repo root %s)"
                         % BASELINE_NAME)
     parser.add_argument("--write-baseline", action="store_true",
-                        help="write the report to the baseline path")
+                        help="merge the report into the baseline (existing"
+                             " entries are never overwritten)")
     parser.add_argument("--check", action="store_true",
                         help="compare against the baseline; exit 1 on regression")
     parser.add_argument("--tolerance", type=float, default=0.2,
@@ -503,7 +576,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or default_baseline_path()
-    report = run_harness(mode=args.mode, quiet=False)
+    report = run_harness(mode=args.mode, quiet=False, profile=args.profile)
     if args.jobs > 1:
         print("running parallel.run_all_smoke with --jobs %d ..." % args.jobs,
               file=sys.stderr)
@@ -526,8 +599,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
     if args.write_baseline:
+        to_write = report
+        if os.path.exists(baseline_path):
+            with open(baseline_path) as handle:
+                to_write = merge_baseline(json.load(handle), report)
         with open(baseline_path, "w") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
+            json.dump(to_write, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("baseline written: %s" % baseline_path)
     if args.check:
@@ -553,11 +630,13 @@ if __name__ == "__main__":
 
 __all__ = [
     "BASELINE_NAME",
+    "FULLSCALE_DATA_CAP",
     "bench_obs_null",
     "bench_parallel_run_all",
     "calibrate",
     "check_regression",
     "default_baseline_path",
     "format_report",
+    "merge_baseline",
     "run_harness",
 ]

@@ -19,6 +19,16 @@ Failure semantics:
 
 Progress streams as workers finish: the pool invokes the caller's
 ``progress`` callback with one :class:`TaskEvent` per completed attempt.
+
+Large results cross back through POSIX shared memory: a worker whose
+pickled return value reaches :data:`SHM_MIN_BYTES` writes the pickle
+into a ``multiprocessing.shared_memory`` segment and sends only the
+segment's name over the result pipe; the parent maps the segment,
+unpickles, and unlinks it.  A campaign worker's value — a whole
+simulated file system, disks included — runs to tens of megabytes at
+paper scale, and pipe transport would move it through 64 KB pipe writes
+plus an extra copy on each side.  Small values take the pipe as before,
+and the serial path never ships at all.
 """
 
 from __future__ import annotations
@@ -116,6 +126,90 @@ class TaskEvent:
         )
 
 
+# -- shared-memory payload transport -----------------------------------
+
+#: Pickled results at or above this size bypass the executor's result
+#: pipe and cross back through a POSIX shared-memory segment instead.
+SHM_MIN_BYTES = 1 << 20
+
+#: Set (via the executor initializer) in pool worker processes only, so
+#: the serial path — which runs ``_worker`` in-process — never ships.
+_POOL_WORKER = False
+
+
+def _mark_pool_worker() -> None:
+    global _POOL_WORKER
+    _POOL_WORKER = True
+
+
+class _ShmHandle:
+    """Name and size of a shared-memory segment holding a pickled value."""
+
+    __slots__ = ("name", "size")
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+
+
+def _ship_value(value: Any) -> Any:
+    """In a pool worker, move a large result into shared memory.
+
+    Returns the value itself when it is small (or shared memory is
+    unavailable), else a :class:`_ShmHandle` the parent redeems with
+    :func:`_receive_value`.  The segment is unregistered from the
+    worker-side resource tracker because the *parent* owns its lifetime:
+    it unlinks after reading, and must not race a worker-exit cleanup.
+    """
+    if not _POOL_WORKER:
+        return value
+    import pickle
+
+    try:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return value  # let the pipe raise the pool's normal error
+    if len(blob) < SHM_MIN_BYTES:
+        return value
+    try:
+        from multiprocessing import resource_tracker, shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=len(blob))
+    except Exception:
+        return value  # no usable /dev/shm: fall back to the pipe
+    try:
+        segment.buf[: len(blob)] = blob
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        name = segment.name
+        segment.close()
+        return _ShmHandle(name, len(blob))
+    except Exception:
+        segment.close()
+        try:
+            segment.unlink()
+        except Exception:
+            pass
+        return value
+
+
+def _receive_value(value: Any) -> Any:
+    """Redeem a :class:`_ShmHandle` from a worker; pass others through."""
+    if not isinstance(value, _ShmHandle):
+        return value
+    import pickle
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=value.name)
+    try:
+        return pickle.loads(segment.buf[: value.size])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
 def fork_available() -> bool:
     """Whether POSIX fork (and thus the process pool) is usable here."""
     if not hasattr(os, "fork"):
@@ -181,7 +275,7 @@ def _worker(spec: TaskSpec) -> Tuple[str, Any, float, int, str, Optional[dict]]:
             if metrics_on:
                 obs["metrics"] = diff_snapshots(metrics_before,
                                                 REGISTRY.snapshot())
-        return ("ok", value, elapsed, pid, "", obs)
+        return ("ok", _ship_value(value), elapsed, pid, "", obs)
     except TaskTimeout as error:
         return ("timeout", str(error), time.perf_counter() - start,
                 os.getpid(), traceback.format_exc(), None)
@@ -260,7 +354,8 @@ class TaskPool:
         done = 0
         failure: Optional[TaskError] = None
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs)) or 1,
-                                 mp_context=context) as executor:
+                                 mp_context=context,
+                                 initializer=_mark_pool_worker) as executor:
             pending = {executor.submit(_worker, spec): index
                        for index, spec in enumerate(specs)}
             for index in pending.values():
@@ -281,6 +376,13 @@ class TaskPool:
                     else:
                         outcome = future.result()
                     status, value, elapsed, pid, tb_text, obs = outcome
+                    if status == "ok":
+                        try:
+                            value = _receive_value(value)
+                        except Exception as error:
+                            status = "error"
+                            value = "%s: %s" % (type(error).__name__, error)
+                            tb_text = traceback.format_exc()
                     ok = status == "ok"
                     will_retry = (not ok
                                   and attempts[index] <= spec.retries
@@ -370,6 +472,7 @@ class TaskPool:
 
 
 __all__ = [
+    "SHM_MIN_BYTES",
     "TaskError",
     "TaskEvent",
     "TaskPool",

@@ -11,27 +11,25 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.errors import RaidError, StorageError
 from repro.raid.layout import GroupGeometry
 from repro.storage.disk import VirtualDisk
 
 
-def _xor_int(a: bytes, b: bytes) -> bytes:
-    # int-based XOR is far faster than a byte loop for 4 KB blocks.
-    n = len(a)
+def _xor2(a, b) -> bytes:
+    # Vectorized XOR: ~5x faster than int.from_bytes round-trips on a
+    # 4 KB block (no bignum construction).
     return (
-        int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
-    ).to_bytes(n, "little")
+        np.frombuffer(a, dtype=np.uint8) ^ np.frombuffer(b, dtype=np.uint8)
+    ).tobytes()
 
 
-def _xor3(a: bytes, b: bytes, c: bytes) -> bytes:
-    # Single-pass three-way XOR: half the int<->bytes conversions of two
-    # chained _xor_int calls on the read-modify-write parity path.
-    return (
-        int.from_bytes(a, "little")
-        ^ int.from_bytes(b, "little")
-        ^ int.from_bytes(c, "little")
-    ).to_bytes(len(a), "little")
+def _xor3(a, b, c) -> bytes:
+    out = np.frombuffer(a, dtype=np.uint8) ^ np.frombuffer(b, dtype=np.uint8)
+    out ^= np.frombuffer(c, dtype=np.uint8)
+    return out.tobytes()
 
 
 class RaidGroup:
@@ -107,6 +105,7 @@ class RaidGroup:
         nd = self.geometry.ndata_disks
         bs = self.block_size
         end = group_block + nblocks
+        rows = None
         for disk_index in range(nd):
             first = group_block + ((disk_index - group_block) % nd)
             if first >= end:
@@ -123,7 +122,9 @@ class RaidGroup:
                 continue
             if nd == 1:
                 out[offset : offset + count * bs] = column
-            else:
+            elif count <= 8:
+                # Short column: plain byte slicing beats numpy call
+                # overhead.
                 pos = offset + (first - group_block) * bs
                 stride = nd * bs
                 cpos = 0
@@ -131,6 +132,16 @@ class RaidGroup:
                     out[pos : pos + bs] = column[cpos : cpos + bs]
                     pos += stride
                     cpos += bs
+            else:
+                # De-stripe with one strided numpy scatter: the column's
+                # blocks land every nd-th row of the output region.
+                if rows is None:
+                    rows = np.frombuffer(out, dtype=np.uint8)[
+                        offset : offset + nblocks * bs
+                    ].reshape(nblocks, bs)
+                rows[first - group_block :: nd] = np.frombuffer(
+                    column, dtype=np.uint8
+                ).reshape(count, bs)
 
     def write_run(self, group_block: int, data, offset: int,
                   nblocks: int) -> None:
@@ -152,30 +163,108 @@ class RaidGroup:
         bs = self.block_size
         view = memoryview(data)
         end = group_block + nblocks
-        # Leading partial stripe up to the first stripe boundary.
+        # Leading partial stripe up to the first stripe boundary (or the
+        # whole run, when it never covers a full stripe).
         gb = group_block
-        while gb < end and (gb % nd or end - gb < nd):
-            pos = offset + (gb - group_block) * bs
-            self.write_block(gb, bytes(view[pos : pos + bs]))
-            gb += 1
+        aligned = min(end, -(-gb // nd) * nd)
+        lead_end = aligned if end - aligned >= nd else end
+        if lead_end > gb:
+            self._write_partial(gb, lead_end, view,
+                                offset + (gb - group_block) * bs)
+            gb = lead_end
         # Full stripes: parity = XOR of the stripe's new data columns.
-        from_bytes = int.from_bytes
-        while end - gb >= nd:
-            stripe = gb // nd
-            pos = offset + (gb - group_block) * bs
-            acc = 0
-            for disk_index in range(nd):
-                chunk = bytes(view[pos : pos + bs])
-                acc ^= from_bytes(chunk, "little")
-                self.data_disks[disk_index].write_block(stripe, chunk)
+        nfull = (end - gb) // nd
+        if nfull and nfull * nd <= 32:
+            # Short run: a per-stripe XOR loop has less overhead than
+            # setting up numpy column views.
+            while end - gb >= nd:
+                stripe = gb // nd
+                pos = offset + (gb - group_block) * bs
+                acc = np.frombuffer(view[pos : pos + bs],
+                                    dtype=np.uint8).copy()
+                self.data_disks[0].write_block(stripe,
+                                               bytes(view[pos : pos + bs]))
                 pos += bs
-            self.parity_disk.write_block(stripe, acc.to_bytes(bs, "little"))
-            gb += nd
-        # Trailing partial stripe.
-        while gb < end:
+                for disk_index in range(1, nd):
+                    chunk = view[pos : pos + bs]
+                    acc ^= np.frombuffer(chunk, dtype=np.uint8)
+                    self.data_disks[disk_index].write_block(stripe,
+                                                            bytes(chunk))
+                    pos += bs
+                self.parity_disk.write_block(stripe, acc.tobytes())
+                gb += nd
+        elif nfull:
+            # Long run: parity for every stripe with one XOR-reduce, each
+            # member's column written with a single bulk write_run.
+            stripe0 = gb // nd
             pos = offset + (gb - group_block) * bs
-            self.write_block(gb, bytes(view[pos : pos + bs]))
-            gb += 1
+            mid = np.frombuffer(
+                view, dtype=np.uint8, count=nfull * nd * bs, offset=pos
+            ).reshape(nfull, nd, bs)
+            if nd == 1:
+                self.data_disks[0].write_run(stripe0, mid.reshape(-1))
+            else:
+                for disk_index in range(nd):
+                    self.data_disks[disk_index].write_run(
+                        stripe0, np.ascontiguousarray(mid[:, disk_index, :])
+                    )
+            parity = np.bitwise_xor.reduce(mid, axis=1)
+            self.parity_disk.write_run(stripe0, np.ascontiguousarray(parity))
+            gb += nfull * nd
+        # Trailing partial stripe.
+        if gb < end:
+            self._write_partial(gb, end, view,
+                                offset + (gb - group_block) * bs)
+
+    def _write_partial(self, gb_start: int, gb_end: int, view,
+                       pos: int) -> None:
+        """Write ``[gb_start, gb_end)`` with per-stripe read-modify-write.
+
+        Consecutive group blocks that share a stripe are batched: one
+        old-parity read and one new-parity write cover them all, instead
+        of cycling the parity block through the disk once per column.
+        """
+        nd = self.geometry.ndata_disks
+        bs = self.block_size
+        gb = gb_start
+        while gb < gb_end:
+            take = min(gb_end - gb, nd - gb % nd)
+            if take == 1:
+                self.write_block(gb, bytes(view[pos : pos + bs]))
+            else:
+                self._rmw_stripe(gb // nd, gb % nd, view, pos, take)
+            pos += take * bs
+            gb += take
+
+    def _rmw_stripe(self, stripe: int, first_disk: int, view, pos: int,
+                    k: int) -> None:
+        """Read-modify-write ``k`` consecutive columns of one stripe.
+
+        New parity = old parity XOR (old XOR new) of every written
+        column, accumulated in one pass.  If any old column is
+        unreadable, the stripe falls back to per-block writes *before*
+        anything is modified — their incremental parity updates keep the
+        reconstruction of later columns correct.
+        """
+        bs = self.block_size
+        disks = self.data_disks
+        try:
+            olds = [disks[first_disk + j].read_block(stripe)
+                    for j in range(k)]
+        except StorageError:
+            base = stripe * self.geometry.ndata_disks + first_disk
+            for j in range(k):
+                self.write_block(base + j,
+                                 bytes(view[pos + j * bs : pos + (j + 1) * bs]))
+            return
+        total = np.frombuffer(self.parity_disk.read_block(stripe),
+                              dtype=np.uint8).copy()
+        for j in range(k):
+            piece = view[pos + j * bs : pos + (j + 1) * bs]
+            total ^= np.frombuffer(olds[j], dtype=np.uint8)
+            total ^= np.frombuffer(piece, dtype=np.uint8)
+            disks[first_disk + j].write_block(stripe, bytes(piece))
+        self.parity_disk.write_block(stripe, total.tobytes())
 
     def _reconstruct(self, failed_disk: int, stripe: int) -> bytes:
         """Rebuild one block from the surviving stripe members + parity."""
@@ -185,7 +274,7 @@ class RaidGroup:
             if index == failed_disk:
                 continue
             try:
-                acc = _xor_int(acc, disk.read_block(stripe))
+                acc = _xor2(acc, disk.read_block(stripe))
             except StorageError:
                 raise RaidError(
                     "double failure in stripe %d of %r" % (stripe, self.name)
@@ -203,7 +292,7 @@ class RaidGroup:
             acc = bytes(self.block_size)
             try:
                 for disk in self.data_disks:
-                    acc = _xor_int(acc, disk.read_block(stripe))
+                    acc = _xor2(acc, disk.read_block(stripe))
             except StorageError:
                 continue
             if acc != self.parity_disk.read_block(stripe):
@@ -232,7 +321,7 @@ class RaidGroup:
         for stripe in range(self.geometry.blocks_per_disk):
             acc = bytes(self.block_size)
             for disk in self.data_disks:
-                acc = _xor_int(acc, disk.read_block(stripe))
+                acc = _xor2(acc, disk.read_block(stripe))
             if acc != self.parity_disk.read_block(stripe):
                 self.parity_disk.write_block(stripe, acc)
                 repaired += 1

@@ -190,11 +190,35 @@ class Process(Event):
         wakeup.succeed()
 
     def _resume(self, event: Event) -> None:
+        # _step inlined for the common resume path: this callback runs
+        # once per yield of every process in the system.
         self._waiting_on = None
-        if event._ok is False:
-            self._step(throw=event.value)
+        if self.triggered:
+            return
+        try:
+            if event._ok is False:
+                target = self._generator.throw(event._value)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimError("process yielded non-event %r" % (target,)))
+            return
+        if target.processed:
+            immediate = Event(self.sim)
+            immediate.callbacks.append(
+                lambda _evt, tgt=target: self._resume(tgt)
+            )
+            immediate.succeed()
         else:
-            self._step(send=event.value)
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
         if self.triggered:
@@ -284,12 +308,27 @@ class Simulation:
         """Run until the heap drains or the clock passes ``until``."""
         if until is not None and until < self.now:
             raise SimError("until %r is in the past (now=%r)" % (until, self.now))
-        while self._heap:
-            when = self._heap[0][0]
+        # step() inlined: this loop pops hundreds of thousands of events
+        # per experiment, so the method call and repeated attribute
+        # lookups are hoisted out of it.
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when = heap[0][0]
             if until is not None and when > until:
                 self.now = until
                 break
-            self.step()
+            when, _seq, event = pop(heap)
+            if when < self.now:
+                raise SimError(
+                    "time went backwards: %r < %r" % (when, self.now))
+            self.now = when
+            event.processed = True
+            callbacks = event.callbacks
+            if callbacks:
+                event.callbacks = []
+                for callback in callbacks:
+                    callback(event)
         else:
             if until is not None:
                 self.now = until
@@ -301,15 +340,28 @@ class Simulation:
 
         Raises the process's exception if it failed.
         """
+        heap = self._heap
+        pop = heapq.heappop
         while not process.triggered:
-            if not self._heap:
+            if not heap:
                 raise SimError(
                     "deadlock: no scheduled events but process %r is alive"
                     % (process.name,)
                 )
-            if until is not None and self._heap[0][0] > until:
+            if until is not None and heap[0][0] > until:
                 raise SimError("process %r did not finish by t=%r" % (process.name, until))
-            self.step()
+            # step() inlined — same hot-loop treatment as run().
+            when, _seq, event = pop(heap)
+            if when < self.now:
+                raise SimError(
+                    "time went backwards: %r < %r" % (when, self.now))
+            self.now = when
+            event.processed = True
+            callbacks = event.callbacks
+            if callbacks:
+                event.callbacks = []
+                for callback in callbacks:
+                    callback(event)
         if process._ok is False:
             raise process.value
         return process.value

@@ -17,15 +17,28 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+import numpy as np
+
 from repro.errors import StorageError
 from repro.obs.metrics import REGISTRY
 from repro.units import KB, MB
 
 DEFAULT_BLOCK_SIZE = 4 * KB
 
+# Blocks per backing chunk: 4 MB of contiguous store at the default block
+# size.  Chunks materialize on first non-zero write, so a mostly-empty
+# paper-scale (188 GB) disk costs memory only where data actually lands.
+CHUNK_BLOCKS = 1024
+
 
 class VirtualDisk:
     """A sparse in-memory block device.
+
+    The store is chunked: contiguous runs of ``CHUNK_BLOCKS`` blocks share
+    one numpy byte array, materialized the first time non-zero data is
+    written into the range.  Reads of unmaterialized ranges zero-fill the
+    caller's buffer without allocating backing store, and run reads/writes
+    are slice copies instead of per-block dict traffic.
 
     Unwritten blocks read back as zeros.  ``fail_block`` marks a block as
     unreadable to exercise RAID reconstruction and backup robustness
@@ -40,7 +53,14 @@ class VirtualDisk:
         self.nblocks = nblocks
         self.block_size = block_size
         self.name = name
-        self._blocks: Dict[int, bytes] = {}
+        # chunk index -> writable memoryview over a bytearray of
+        # chunk_blocks * block_size bytes.  Plain buffer slicing keeps the
+        # per-call cost of scalar reads/writes at memcpy speed; numpy views
+        # (np.frombuffer, zero-copy) serve the scans that need them.
+        self._chunks: Dict[int, memoryview] = {}
+        # Small disks get one whole-disk chunk; paper-scale disks use
+        # fixed 4 MB chunks so sparse regions cost nothing.
+        self._chunk_blocks = min(CHUNK_BLOCKS, nblocks)
         self._bad: Set[int] = set()
         self.reads = 0
         self.writes = 0
@@ -50,6 +70,24 @@ class VirtualDisk:
     def size_bytes(self) -> int:
         return self.nblocks * self.block_size
 
+    def __getstate__(self):
+        # memoryview chunks do not pickle: ship each chunk's payload as
+        # raw bytes and rebuild writable views on the receiving side.
+        # This is what lets a whole simulated volume cross a process
+        # boundary (parallel campaign workers return their file systems).
+        state = self.__dict__.copy()
+        state["_chunks"] = {ci: bytes(view)
+                            for ci, view in self._chunks.items()}
+        return state
+
+    def __setstate__(self, state):
+        chunks = state.pop("_chunks")
+        self.__dict__.update(state)
+        self._chunks = {
+            ci: memoryview(np.frombuffer(bytearray(blob), dtype=np.uint8))
+            for ci, blob in chunks.items()
+        }
+
     def _check(self, block: int) -> None:
         if not 0 <= block < self.nblocks:
             raise StorageError(
@@ -57,13 +95,28 @@ class VirtualDisk:
                 % (block, self.name, self.nblocks)
             )
 
+    def _materialize(self, chunk_index: int) -> memoryview:
+        # numpy backing, memoryview interface: np.zeros stays fast even on
+        # a large fragmented heap, where a 4 MB bytearray() falls into the
+        # glibc main arena and costs ~20x more; the memoryview gives the
+        # hot paths plain buffer-slicing semantics.
+        chunk = memoryview(np.zeros(self._chunk_blocks * self.block_size,
+                                    dtype=np.uint8))
+        self._chunks[chunk_index] = chunk
+        return chunk
+
     def read_block(self, block: int) -> bytes:
         """Return the 4 KB contents of ``block`` (zeros if never written)."""
         self._check(block)
         if block in self._bad:
             raise StorageError("media error reading block %d of %r" % (block, self.name))
         self.reads += 1
-        return self._blocks.get(block, self._zero)
+        cb = self._chunk_blocks
+        chunk = self._chunks.get(block // cb)
+        if chunk is None:
+            return self._zero
+        off = (block % cb) * self.block_size
+        return bytes(chunk[off : off + self.block_size])
 
     def write_block(self, block: int, data: bytes) -> None:
         self._check(block)
@@ -72,12 +125,22 @@ class VirtualDisk:
                 "short write: %d bytes to %d-byte block" % (len(data), self.block_size)
             )
         self.writes += 1
-        self._bad.discard(block)
-        if data == self._zero:
-            # Keep the store sparse: a zero block is the default.
-            self._blocks.pop(block, None)
-        else:
-            self._blocks[block] = bytes(data)
+        if self._bad:
+            self._bad.discard(block)
+        cb = self._chunk_blocks
+        chunk = self._chunks.get(block // cb)
+        if chunk is None:
+            if data == self._zero:
+                # Keep the store sparse: a zero block is the default.
+                return
+            chunk = self._materialize(block // cb)
+        off = (block % cb) * self.block_size
+        chunk[off : off + self.block_size] = data
+
+    def _bad_in_range(self, start_block: int, end_block: int) -> Optional[int]:
+        """Lowest bad block in [start, end), or None.  O(|bad|), not O(run)."""
+        hits = [b for b in self._bad if start_block <= b < end_block]
+        return min(hits) if hits else None
 
     def read_run(self, start_block: int, nblocks: int) -> bytearray:
         """Read ``nblocks`` contiguous blocks into one buffer.
@@ -85,58 +148,127 @@ class VirtualDisk:
         Raises before counting anything if any block in the range is bad,
         so callers can fall back to per-block reads (with reconstruction)
         and still observe the same ``reads`` accounting as the scalar
-        path.  Unwritten blocks stay zero in the output without a copy.
+        path.  Ranges with no materialized chunk stay zero in the output
+        without allocating backing store.
         """
         if nblocks <= 0:
             raise StorageError("zero-length run read on %r" % self.name)
-        self._check(start_block)
-        self._check(start_block + nblocks - 1)
+        end = start_block + nblocks
+        if start_block < 0 or end > self.nblocks:
+            self._check(start_block)
+            self._check(end - 1)
         if self._bad:
-            for block in range(start_block, start_block + nblocks):
-                if block in self._bad:
-                    raise StorageError(
-                        "media error reading block %d of %r" % (block, self.name)
-                    )
+            bad = self._bad_in_range(start_block, end)
+            if bad is not None:
+                raise StorageError(
+                    "media error reading block %d of %r" % (bad, self.name)
+                )
         self.reads += nblocks
         bs = self.block_size
+        cb = self._chunk_blocks
+        ci = start_block // cb
+        if ci == (end - 1) // cb:
+            # Run within one chunk (every run on a small disk, and most
+            # on a chunked one): a single slice copy, no assembly loop.
+            chunk = self._chunks.get(ci)
+            if chunk is None:
+                return bytearray(nblocks * bs)
+            src = (start_block - ci * cb) * bs
+            return bytearray(chunk[src : src + nblocks * bs])
         out = bytearray(nblocks * bs)
-        get = self._blocks.get
-        offset = 0
-        for block in range(start_block, start_block + nblocks):
-            data = get(block)
-            if data is not None:
-                out[offset : offset + bs] = data
-            offset += bs
+        if self._chunks:
+            chunks = self._chunks
+            cb = self._chunk_blocks
+            block = start_block
+            off = 0
+            while block < end:
+                ci = block // cb
+                cstart = ci * cb
+                take = min(end, cstart + cb) - block
+                chunk = chunks.get(ci)
+                if chunk is not None:
+                    src = (block - cstart) * bs
+                    out[off : off + take * bs] = chunk[src : src + take * bs]
+                off += take * bs
+                block += take
         return out
 
     def write_run(self, start_block: int, data) -> None:
         """Write contiguous blocks from one buffer (block-aligned)."""
-        view = memoryview(data)
+        if isinstance(data, np.ndarray):
+            view = memoryview(np.ascontiguousarray(data.reshape(-1)))
+        else:
+            view = memoryview(data)
         bs = self.block_size
-        if len(view) % bs:
+        if view.nbytes % bs:
             raise StorageError("run write is not block aligned")
-        nblocks = len(view) // bs
+        nblocks = view.nbytes // bs
         if nblocks == 0:
             return
         self._check(start_block)
         self._check(start_block + nblocks - 1)
         self.writes += nblocks
-        blocks = self._blocks
-        zero = self._zero
-        offset = 0
-        for block in range(start_block, start_block + nblocks):
-            self._bad.discard(block)
-            chunk = bytes(view[offset : offset + bs])
-            if chunk == zero:
-                blocks.pop(block, None)
-            else:
-                blocks[block] = chunk
-            offset += bs
+        end = start_block + nblocks
+        if self._bad:
+            self._bad = {b for b in self._bad if not start_block <= b < end}
+        chunks = self._chunks
+        cb = self._chunk_blocks
+        block = start_block
+        off = 0
+        while block < end:
+            ci = block // cb
+            cstart = ci * cb
+            take = min(end, cstart + cb) - block
+            piece = view[off : off + take * bs]
+            chunk = chunks.get(ci)
+            if chunk is None:
+                # All-zero writes to virgin ranges stay unmaterialized:
+                # a zero block is the default.
+                if np.frombuffer(piece, dtype=np.uint8).any():
+                    chunk = self._materialize(ci)
+            if chunk is not None:
+                dst = (block - cstart) * bs
+                chunk[dst : dst + take * bs] = piece
+            off += take * bs
+            block += take
 
     def is_allocated(self, block: int) -> bool:
         """True if the block has ever been written with non-zero data."""
         self._check(block)
-        return block in self._blocks
+        cb = self._chunk_blocks
+        chunk = self._chunks.get(block // cb)
+        if chunk is None:
+            return False
+        off = (block % cb) * self.block_size
+        return bool(
+            np.frombuffer(chunk, dtype=np.uint8, count=self.block_size,
+                          offset=off).any()
+        )
+
+    def nonzero_blocks(self):
+        """Yield ``(block, contents)`` for every non-zero block, ascending.
+
+        This is the persistence / inspection surface of the store: exactly
+        the blocks for which :meth:`is_allocated` is true, without exposing
+        the chunked backing representation.
+        """
+        bs = self.block_size
+        cb = self._chunk_blocks
+        for ci in sorted(self._chunks):
+            rows = np.frombuffer(self._chunks[ci], dtype=np.uint8).reshape(cb, bs)
+            for row in np.flatnonzero(rows.any(axis=1)):
+                block = ci * cb + int(row)
+                if block < self.nblocks:
+                    yield block, rows[row].tobytes()
+
+    def allocated_count(self) -> int:
+        """Number of non-zero blocks (cheap, chunk-at-a-time)."""
+        count = 0
+        bs = self.block_size
+        for chunk in self._chunks.values():
+            arr = np.frombuffer(chunk, dtype=np.uint8).reshape(-1, bs)
+            count += int(arr.any(axis=1).sum())
+        return count
 
     def fail_block(self, block: int) -> None:
         """Inject a media error: subsequent reads of ``block`` raise."""

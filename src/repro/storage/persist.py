@@ -43,11 +43,14 @@ def _read_frame(handle: BinaryIO) -> bytes:
 
 
 def _serialize_disk(disk) -> bytes:
-    parts = [struct.pack("<II", disk.nblocks, len(disk._blocks))]
-    for block in sorted(disk._blocks):
-        data = disk._blocks[block]
-        parts.append(struct.pack("<I", block))
-        parts.append(data)
+    body = []
+    count = 0
+    for block, data in disk.nonzero_blocks():
+        body.append(struct.pack("<I", block))
+        body.append(data)
+        count += 1
+    parts = [struct.pack("<II", disk.nblocks, count)]
+    parts.extend(body)
     return b"".join(parts)
 
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 import struct
 from typing import Dict, Iterator, List, Tuple
 
+import numpy as np
+
 from repro.errors import FilesystemError
 from repro.wafl.consts import BLOCK_SIZE, MAX_FILE_BLOCKS, NDIRECT, PTRS_PER_BLOCK
 from repro.wafl.inode import Inode
@@ -223,13 +225,56 @@ class BlockTree:
             start_vbn, count = self.ctx.alloc_run(nblocks - offset)
             chunk = data[offset * BLOCK_SIZE : (offset + count) * BLOCK_SIZE]
             self.ctx.volume.write_run(start_vbn, chunk)
-            for i in range(count):
-                target = fbn + offset + i
-                old_vbn = self.get_pointer(target)
-                self._set_pointer(target, start_vbn + i)
-                if old_vbn:
-                    self.ctx.free_block(old_vbn)
+            old_vbns = self._replace_range(fbn + offset, start_vbn, count)
+            if old_vbns:
+                self.ctx.free_blocks(old_vbns)
             offset += count
+
+    def _replace_range(self, first_fbn: int, first_vbn: int,
+                       count: int) -> List[int]:
+        """Point ``count`` consecutive file blocks at consecutive volume
+        blocks; returns the displaced (nonzero) old pointers in file order.
+
+        Equivalent to per-block ``get_pointer``/``_set_pointer`` pairs,
+        but resolves each tree segment once per overlapped range instead
+        of re-walking the tree for every block.
+        """
+        self._check_fbn(first_fbn)
+        self._check_fbn(first_fbn + count - 1)
+        old: List[int] = []
+        fbn = first_fbn
+        vbn = first_vbn
+        remaining = count
+        while remaining:
+            if fbn < NDIRECT:
+                take = min(remaining, NDIRECT - fbn)
+                ptrs = self.inode.direct
+                base = fbn
+                self.ctx.inode_dirty(self.inode)
+            elif fbn < NDIRECT + PTRS_PER_BLOCK:
+                base = fbn - NDIRECT
+                take = min(remaining, PTRS_PER_BLOCK - base)
+                block = self._load(("ind",), self.inode.indirect)
+                block.dirty = True
+                ptrs = block.ptrs
+            else:
+                rel = fbn - NDIRECT - PTRS_PER_BLOCK
+                child = rel // PTRS_PER_BLOCK
+                base = rel % PTRS_PER_BLOCK
+                take = min(remaining, PTRS_PER_BLOCK - base)
+                dptr = self._load(("dptr",), self.inode.dindirect)
+                block = self._load(("dind", child), dptr.ptrs[child])
+                block.dirty = True
+                ptrs = block.ptrs
+            for i in range(base, base + take):
+                prev = ptrs[i]
+                if prev:
+                    old.append(prev)
+                ptrs[i] = vbn
+                vbn += 1
+            fbn += take
+            remaining -= take
+        return old
 
     def punch_hole(self, fbn: int) -> None:
         """Free one file block, leaving a hole."""
@@ -275,21 +320,77 @@ class BlockTree:
                     if vbn:
                         yield base + slot, vbn
 
+    def _ptr_segments(self) -> List[Tuple[int, List[int]]]:
+        """``(base_fbn, pointer_list)`` per tree level, in file order."""
+        inode = self.inode
+        segments: List[Tuple[int, List[int]]] = [(0, inode.direct)]
+        if inode.indirect or ("ind",) in self._cache:
+            segments.append(
+                (NDIRECT, self._load(("ind",), inode.indirect).ptrs)
+            )
+        if inode.dindirect or ("dptr",) in self._cache:
+            dptr = self._load(("dptr",), inode.dindirect)
+            for child, child_vbn in enumerate(dptr.ptrs):
+                if not child_vbn and ("dind", child) not in self._cache:
+                    continue
+                block = self._load(("dind", child), child_vbn)
+                base = NDIRECT + PTRS_PER_BLOCK + child * PTRS_PER_BLOCK
+                segments.append((base, block.ptrs))
+        return segments
+
     def extents(self) -> List[Tuple[int, int, int]]:
         """Physical extents in file order: ``(fbn, vbn, nblocks)`` runs.
 
         Consecutive file blocks whose volume blocks are also consecutive
-        merge into one extent — the unit logical dump reads with.
+        merge into one extent — the unit logical dump reads with.  Small
+        files (direct pointers only) take a plain loop; trees with
+        indirect levels build the runs with one vectorized edge scan over
+        the pointer arrays instead of a per-block merge.
         """
-        runs: List[Tuple[int, int, int]] = []
-        for fbn, vbn in self.allocated_fblocks():
-            if runs:
-                last_fbn, last_vbn, last_len = runs[-1]
-                if fbn == last_fbn + last_len and vbn == last_vbn + last_len:
-                    runs[-1] = (last_fbn, last_vbn, last_len + 1)
+        inode = self.inode
+        if not inode.indirect and not inode.dindirect and not self._cache:
+            # Direct-only trees touch no indirect blocks (no simulated
+            # I/O), so the result can be memoized on the inode.  The memo
+            # keeps a copy of the direct array and self-validates against
+            # the live one — no invalidation hooks to miss.  Callers must
+            # treat the returned list as read-only.
+            direct = inode.direct
+            memo = inode.extents_memo
+            if memo is not None and memo[0] == direct:
+                return memo[1]
+            runs: List[Tuple[int, int, int]] = []
+            run_fbn = run_vbn = run_len = 0
+            for fbn in range(NDIRECT):
+                vbn = direct[fbn]
+                if not vbn:
                     continue
-            runs.append((fbn, vbn, 1))
-        return runs
+                if run_len and fbn == run_fbn + run_len and vbn == run_vbn + run_len:
+                    run_len += 1
+                    runs[-1] = (run_fbn, run_vbn, run_len)
+                    continue
+                run_fbn, run_vbn, run_len = fbn, vbn, 1
+                runs.append((fbn, vbn, 1))
+            inode.extents_memo = (direct[:], runs)
+            return runs
+        fbn_parts = []
+        vbn_parts = []
+        for base, ptrs in self._ptr_segments():
+            arr = np.array(ptrs, dtype=np.int64)
+            hot = np.flatnonzero(arr)
+            if hot.size:
+                fbn_parts.append(hot + base)
+                vbn_parts.append(arr[hot])
+        if not fbn_parts:
+            return []
+        fbns = np.concatenate(fbn_parts)
+        vbns = np.concatenate(vbn_parts)
+        breaks = np.flatnonzero((np.diff(fbns) != 1) | (np.diff(vbns) != 1))
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks + 1, [fbns.size]))
+        return [
+            (int(fbns[s]), int(vbns[s]), int(e - s))
+            for s, e in zip(starts, ends)
+        ]
 
     def metadata_blocks(self) -> List[int]:
         """Volume blocks holding this tree's indirect blocks (for fsck)."""

@@ -26,13 +26,21 @@ from repro.obs.metrics import REGISTRY
 
 
 class BlockCache:
-    """A simple LRU of block contents."""
+    """A simple LRU of block contents.
+
+    Entries are either materialized ``bytes`` or lazy ``(buffer, offset,
+    size)`` references into the immutable run buffer they arrived in (see
+    :meth:`put_run`).  A lazy entry materializes on its first per-block
+    hit; hit/miss counts, LRU order, and eviction accounting are identical
+    either way — laziness only removes the per-block copy from the bulk
+    insert path.
+    """
 
     def __init__(self, capacity_blocks: int = 4096):
         if capacity_blocks <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity_blocks
-        self._blocks: "OrderedDict[int, bytes]" = OrderedDict()
+        self._blocks: "OrderedDict[int, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -44,6 +52,10 @@ class BlockCache:
             if REGISTRY.enabled:
                 REGISTRY.counter("cache.misses").inc()
             return None
+        if type(data) is tuple:
+            buf, off, size = data
+            data = bytes(buf[off : off + size])
+            self._blocks[vbn] = data  # memoize; LRU position kept
         self._blocks.move_to_end(vbn)
         self.hits += 1
         if REGISTRY.enabled:
@@ -53,6 +65,27 @@ class BlockCache:
     def peek(self, vbn: int) -> bool:
         """Presence check without LRU movement or stats."""
         return vbn in self._blocks
+
+    def hit(self, vbn: int) -> Optional[bytes]:
+        """:meth:`get` that counts nothing on a miss.
+
+        Exactly ``peek(vbn) and get(vbn)`` — same hit count, same LRU
+        refresh, no miss accounting — in one dictionary probe.  Run-read
+        fast paths use this so a cold block counts only their own
+        ``run_misses`` gauge, never a per-block miss.
+        """
+        data = self._blocks.get(vbn)
+        if data is None:
+            return None
+        if type(data) is tuple:
+            buf, off, size = data
+            data = bytes(buf[off : off + size])
+            self._blocks[vbn] = data  # memoize; LRU position kept
+        self._blocks.move_to_end(vbn)
+        self.hits += 1
+        if REGISTRY.enabled:
+            REGISTRY.counter("cache.hits").inc()
+        return data
 
     def put(self, vbn: int, data: bytes) -> None:
         if vbn in self._blocks:
@@ -72,27 +105,58 @@ class BlockCache:
                 return False
         return True
 
-    def get_run(self, start_vbn: int, nblocks: int,
-                block_size: int) -> Optional[bytearray]:
-        """The whole run's contents, or ``None`` if any block is cold.
+    def get_run(self, start_vbn: int, nblocks: int, block_size: int):
+        """The whole run's contents (bytes-like), or ``None`` if any
+        block is cold.
 
         A hit counts (and refreshes LRU position for) every block, exactly
         as ``nblocks`` individual :meth:`get` calls would; a cold run
         counts nothing — the caller falls back to the device path and
-        :meth:`put_run`\\ s what it read.
+        :meth:`put_run`\\ s what it read.  Runs whose blocks are still
+        lazy references into one contiguous buffer (the way
+        :meth:`put_run` left them) come back as a single slice of it.
         """
         blocks = self._blocks
-        if not self.peek_run(start_vbn, nblocks):
-            if REGISTRY.enabled:
-                REGISTRY.counter("cache.run_misses").inc()
-            return None
-        out = bytearray(nblocks * block_size)
-        move = blocks.move_to_end
-        offset = 0
+        probe = blocks.get
+        entries = []
+        append = entries.append
         for vbn in range(start_vbn, start_vbn + nblocks):
-            out[offset : offset + block_size] = blocks[vbn]
-            move(vbn)
-            offset += block_size
+            entry = probe(vbn)
+            if entry is None:
+                if REGISTRY.enabled:
+                    REGISTRY.counter("cache.run_misses").inc()
+                return None
+            append(entry)
+        first = entries[0]
+        contiguous = type(first) is tuple
+        if contiguous:
+            buf0 = first[0]
+            expected = first[1]
+            for entry in entries:
+                if (type(entry) is not tuple or entry[0] is not buf0
+                        or entry[1] != expected):
+                    contiguous = False
+                    break
+                expected += block_size
+        move = blocks.move_to_end
+        if contiguous:
+            off0 = first[1]
+            out = buf0[off0 : off0 + nblocks * block_size]
+            for vbn in range(start_vbn, start_vbn + nblocks):
+                move(vbn)
+        else:
+            out = bytearray(nblocks * block_size)
+            offset = 0
+            vbn = start_vbn
+            for entry in entries:
+                if type(entry) is tuple:
+                    buf, off, size = entry
+                    out[offset : offset + block_size] = buf[off : off + size]
+                else:
+                    out[offset : offset + block_size] = entry
+                move(vbn)
+                offset += block_size
+                vbn += 1
         self.hits += nblocks
         if REGISTRY.enabled:
             REGISTRY.counter("cache.hits").inc(nblocks)
@@ -103,15 +167,19 @@ class BlockCache:
 
         Equivalent to per-block :meth:`put` calls over slices of ``data``
         (same LRU order, same eviction accounting), without the caller
-        having to split the buffer itself.
+        having to split the buffer itself.  The buffer is snapshotted to
+        immutable ``bytes`` once and each block stored as a lazy reference
+        into it — no per-block copies on insert.
         """
         blocks = self._blocks
-        view = memoryview(data)
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        nblocks = len(data) // block_size
         offset = 0
-        for vbn in range(start_vbn, start_vbn + len(view) // block_size):
+        for vbn in range(start_vbn, start_vbn + nblocks):
             if vbn in blocks:
                 blocks.move_to_end(vbn)
-            blocks[vbn] = bytes(view[offset : offset + block_size])
+            blocks[vbn] = (data, offset, block_size)
             offset += block_size
         while len(blocks) > self.capacity:
             blocks.popitem(last=False)

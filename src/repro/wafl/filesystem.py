@@ -124,9 +124,10 @@ class WaflFilesystem:
         self._clock = clock
         self._ctx = _ActiveContext(self)
         self._inodes: Dict[int, Inode] = {}
-        # Directory parse cache: ino -> (raw bytes, parsed entries).  Keyed
-        # to the exact on-disk bytes, so a hit never changes semantics.
-        self._dir_cache: Dict[int, Tuple[bytes, tuple]] = {}
+        # Directory parse cache: ino -> (raw bytes, parsed entries, name
+        # index).  Keyed to the exact on-disk bytes, so a hit never
+        # changes semantics.
+        self._dir_cache: Dict[int, Tuple[bytes, tuple, dict]] = {}
         self._dirty_inodes: Set[int] = set()
         self._root_dirty = False
         self._fresh_blocks: Set[int] = set()
@@ -373,8 +374,10 @@ class WaflFilesystem:
             if rounds > 1000:
                 raise FilesystemError("consistency point failed to converge")
             while self.blockmap.dirty_fblocks:
-                fbn = min(self.blockmap.dirty_fblocks)
-                self.blockmap.dirty_fblocks.discard(fbn)
+                # Ascending drain via the map's heap mirror: same order as
+                # min()+discard, without the quadratic set scan at paper
+                # scale (writes dirty further fblocks mid-drain).
+                fbn = self.blockmap.pop_min_dirty()
                 bm_tree.write_fblock(fbn, self.blockmap.serialize_fblock(fbn))
             bm_tree.flush()
             needed = self.blockmap.n_fblocks() * BLOCK_SIZE
@@ -437,12 +440,28 @@ class WaflFilesystem:
             inode = self._load_inode(ino)
             if not inode.is_dir:
                 raise NotADirectoryError_("%r: not a directory" % part)
-            directory = self._read_directory(inode)
-            child = directory.lookup(part)
+            child = self._dir_lookup(inode, part)
             if child is None:
                 raise NotFoundError("no such path %r" % path)
             ino = child
         return ino
+
+    def _dir_lookup(self, inode: Inode, name: str):
+        """One lookup step without materializing a mutable Directory.
+
+        Reads the directory bytes exactly as :meth:`_read_directory` does
+        (same recorder events, same buffer-cache traffic), but resolves
+        the name against the parse cache's name index instead of building
+        a throwaway Directory copy per path component.
+        """
+        raw = self._read_tree_raw(inode)
+        cached = self._dir_cache.get(inode.ino)
+        if cached is None or cached[0] != raw:
+            directory = Directory.parse(raw)
+            cached = (raw, tuple(directory.entries()),
+                      dict(directory.entries()))
+            self._dir_cache[inode.ino] = cached
+        return cached[2].get(name)
 
     def _namei_parent(self, path: str) -> Tuple[Inode, str]:
         parts = self._split(path)
@@ -466,20 +485,37 @@ class WaflFilesystem:
     # Directory plumbing
     # ------------------------------------------------------------------
 
-    def _read_tree_bytes(self, inode: Inode) -> bytes:
-        tree = BlockTree(self._ctx, inode)
-        extents = tree.extents()
+    def _read_tree_raw(self, inode: Inode) -> bytes:
+        """Block-aligned file contents (zero padded to whole blocks).
+
+        The directory paths key their parse cache on this padded form so
+        the hot lookup never pays the byte-exact prefix copy; everything
+        else goes through :meth:`_read_tree_bytes` below.
+        """
+        if not inode.indirect and not inode.dindirect:
+            # Direct-only file: a valid extents memo skips even the
+            # throwaway BlockTree cursor (hot on every namei step).
+            memo = inode.extents_memo
+            if memo is not None and memo[0] == inode.direct:
+                extents = memo[1]
+            else:
+                extents = BlockTree(self._ctx, inode).extents()
+        else:
+            extents = BlockTree(self._ctx, inode).extents()
         if (len(extents) == 1 and extents[0][0] == 0
                 and extents[0][2] * BLOCK_SIZE >= inode.size):
             # One contiguous extent covering the file from block zero — the
             # overwhelmingly common case for directories and small files.
-            return self.volume.read_run(extents[0][1], extents[0][2])[: inode.size]
+            return self.volume.read_run(extents[0][1], extents[0][2])
         nblocks = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
         out = bytearray(nblocks * BLOCK_SIZE)
         for extent_fbn, extent_vbn, extent_len in extents:
             data = self.volume.read_run(extent_vbn, extent_len)
             out[extent_fbn * BLOCK_SIZE : extent_fbn * BLOCK_SIZE + len(data)] = data
-        return bytes(out[: inode.size])
+        return bytes(out)
+
+    def _read_tree_bytes(self, inode: Inode) -> bytes:
+        return self._read_tree_raw(inode)[: inode.size]
 
     def _read_directory(self, inode: Inode) -> Directory:
         if not inode.is_dir:
@@ -488,12 +524,13 @@ class WaflFilesystem:
         # events, same buffer-cache traffic as before); the cache only
         # skips re-*parsing* bytes we have parsed before.  A fresh
         # Directory is built per call, so callers may mutate freely.
-        raw = self._read_tree_bytes(inode)
+        raw = self._read_tree_raw(inode)
         cached = self._dir_cache.get(inode.ino)
         if cached is not None and cached[0] == raw:
             return Directory.from_entries(cached[1])
         directory = Directory.parse(raw)
-        self._dir_cache[inode.ino] = (raw, tuple(directory.entries()))
+        entries = tuple(directory.entries())
+        self._dir_cache[inode.ino] = (raw, entries, dict(entries))
         return directory
 
     def _write_directory(self, inode: Inode, directory: Directory) -> None:
@@ -507,7 +544,8 @@ class WaflFilesystem:
         inode.size = len(data)
         inode.mtime = self._now()
         self._ctx.inode_dirty(inode)
-        self._dir_cache[inode.ino] = (data, tuple(directory.entries()))
+        entries = tuple(directory.entries())
+        self._dir_cache[inode.ino] = (padded, entries, dict(entries))
 
     # ------------------------------------------------------------------
     # Namespace operations

@@ -68,6 +68,10 @@ class Inode:
         "indirect",
         "dindirect",
         "acl_block",
+        # Not part of the on-disk image: ``(direct_copy, extents)`` memo
+        # for direct-only trees (see BlockTree.extents), self-validating
+        # against the current ``direct`` list.
+        "extents_memo",
     )
 
     def __init__(self, ino: int, type: int = FileType.FREE):
@@ -91,6 +95,7 @@ class Inode:
         self.indirect = 0
         self.dindirect = 0
         self.acl_block = 0
+        self.extents_memo = None
 
     # -- predicates -------------------------------------------------------
 

@@ -137,6 +137,38 @@ def test_progress_events_stream(jobs):
     assert {event.name for event in events} == {"p0", "p1", "p2", "p3"}
 
 
+def big_blob(seed):
+    """A deterministic payload well above the shared-memory threshold."""
+    chunk = bytes((seed * 7 + i) % 256 for i in range(4096))
+    return {"seed": seed, "blob": chunk * 384}  # ~1.5 MB
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+def test_large_results_round_trip(jobs):
+    """Results above SHM_MIN_BYTES come back intact and leak no segments."""
+    shm_dir = "/dev/shm"
+    before = set(os.listdir(shm_dir)) if os.path.isdir(shm_dir) else set()
+    results = TaskPool(jobs).run(
+        [TaskSpec("big%d" % seed, big_blob, (seed,)) for seed in range(3)]
+    )
+    for seed, result in zip(range(3), results):
+        assert result.value == big_blob(seed)
+    if os.path.isdir(shm_dir):
+        leaked = {
+            name for name in os.listdir(shm_dir) if name.startswith("psm_")
+        } - before
+        assert not leaked
+
+
+def test_serial_path_never_ships():
+    """In-process execution must not detour through shared memory."""
+    from repro.parallel.pool import _ShmHandle, _ship_value
+
+    value = big_blob(1)
+    assert _ship_value(value) is value
+    assert not isinstance(_ship_value(value), _ShmHandle)
+
+
 def test_empty_spec_list():
     assert TaskPool(1).run([]) == []
 

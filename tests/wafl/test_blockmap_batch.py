@@ -82,6 +82,101 @@ def test_free_active_many_detects_double_free_in_batch():
         batched.free_active_many([allocated[0], allocated[0]])
 
 
+def test_free_active_many_duplicate_detection_single_diff(monkeypatch):
+    """The duplicate check reuses one ``np.diff`` result for detection and
+    error reporting (it used to compute the diff twice on the error path),
+    and names the *first* duplicate in sorted order."""
+    (batched, _), allocated, _ = churned_pair(9)
+    calls = {"count": 0}
+    real_diff = np.diff
+
+    def counting_diff(*args, **kwargs):
+        calls["count"] += 1
+        return real_diff(*args, **kwargs)
+
+    monkeypatch.setattr(np, "diff", counting_diff)
+    first_dup = sorted(allocated)[0]
+    batch = [allocated[3], first_dup, allocated[5], first_dup,
+             allocated[5]]
+    with pytest.raises(FilesystemError) as excinfo:
+        batched.free_active_many(batch)
+    assert "double free of block %d" % first_dup in str(excinfo.value)
+    assert calls["count"] == 1
+    # The failed batch must not have touched any state.
+    assert bool((batched.words[np.asarray(batch)]
+                 & np.uint32(1)).all())
+
+
+def test_pop_min_dirty_matches_repeated_min():
+    """Heap-backed drain == min()+discard, including mid-drain dirtying."""
+    blockmap = BlockMap(8 * 1024, reserved=16)
+    for fbn in (3, 5, 7):
+        blockmap.set_active(fbn * 1024)
+    assert blockmap.pop_min_dirty() == 3
+    # Dirty an fblock *below* the drain position mid-drain: the next pop
+    # must return it, exactly as a fresh min() over the set would.
+    blockmap.set_active(1 * 1024)
+    assert blockmap.pop_min_dirty() == 1
+    assert blockmap.pop_min_dirty() == 5
+    # Re-dirtying an fblock already drained surfaces it again.
+    blockmap.set_active(3 * 1024 + 1)
+    assert blockmap.pop_min_dirty() == 3
+    assert blockmap.pop_min_dirty() == 7
+    assert blockmap.pop_min_dirty() is None
+    assert not blockmap.dirty_fblocks
+
+
+def test_pop_min_dirty_survives_direct_set_mutation():
+    """Code (and tests) that mutate ``dirty_fblocks`` directly must not
+    desync the drain: the heap is rebuilt from the set when stale."""
+    blockmap = BlockMap(4096, reserved=16)
+    blockmap.allocate_run(10, 16)
+    blockmap.dirty_fblocks.clear()          # bypass the heap
+    assert blockmap.pop_min_dirty() is None
+    blockmap.dirty_fblocks.update({7, 3, 5})  # bypass the heap again
+    assert [blockmap.pop_min_dirty() for _ in range(4)] == [3, 5, 7, None]
+
+
+def test_block_counts_match_full_scan():
+    """Incremental active/used counters == the original word-array scans."""
+    rng = np.random.RandomState(33)
+    blockmap = BlockMap(4096, reserved=16)
+
+    def check():
+        active_scan = int(((blockmap.words & np.uint32(1)) != 0).sum())
+        used_scan = int((blockmap.words != 0).sum())
+        assert blockmap.active_block_count() == active_scan
+        assert blockmap.used_block_count() == used_scan
+
+    cursor = 16
+    allocated = []
+    for _ in range(25):
+        start, count = blockmap.allocate_run(int(rng.randint(1, 60)), cursor)
+        allocated.extend(range(start, start + count))
+        cursor = start + count
+    check()
+    blockmap.snapshot_create(1)
+    check()
+    victims = [b for b in allocated if rng.rand() < 0.4]
+    blockmap.free_active_many(victims, defer_reuse=True)
+    check()
+    blockmap.commit_deferred_reuse()
+    check()
+    survivors = [b for b in allocated if b not in set(victims)]
+    blockmap.free_active(survivors[0])
+    check()
+    blockmap.set_active(survivors[0])
+    check()
+    blockmap.snapshot_delete(1)
+    check()
+    # Round trip through the on-disk form recomputes the same counters.
+    raw = b"".join(blockmap.serialize_fblock(fb)
+                   for fb in range(blockmap.n_fblocks()))
+    clone = BlockMap.deserialize(blockmap.nblocks, blockmap.reserved, raw)
+    assert clone.active_block_count() == blockmap.active_block_count()
+    assert clone.used_block_count() == blockmap.used_block_count()
+
+
 def test_free_active_many_rejects_unallocated_block():
     blockmap = BlockMap(512, reserved=8)
     start, count = blockmap.allocate_run(4, 8)
