@@ -405,6 +405,58 @@ def bench_parallel_run_all(jobs: int = 1) -> Dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# Fleet service plane: a small multi-tenant fleet end to end
+# ---------------------------------------------------------------------------
+
+def bench_fleet_smoke() -> Dict[str, float]:
+    """Init and run a 3-tenant, 2-drive fleet for three simulated days.
+
+    Covers the whole service plane — tenant creation (format + populate),
+    admission scheduling, batch execution, catalog commits, retention,
+    and state persistence — at a deliberately small data size so the
+    scheduler and persistence overheads, not the dumps, dominate.  Short
+    enough to be noisy, so it takes the best of two runs with garbage
+    collected outside the timed region (mirroring ``bench_macro``).
+    """
+    import gc
+    import shutil
+    import tempfile
+
+    from repro.fleet import FleetService, FleetSpec, TenantSpec
+
+    spec = FleetSpec(
+        tenants=[
+            TenantSpec("acme", lane="daily", strategy="logical",
+                       schedule="gfs:4x2", retention="redundancy 2",
+                       data_bytes=300_000, seed=11, cartridges=8,
+                       cartridge_capacity=2_000_000, blocks_per_disk=900),
+            TenantSpec("bolt", lane="daily", strategy="image",
+                       schedule="hanoi:3", retention="redundancy 2",
+                       data_bytes=250_000, seed=22, cartridges=8,
+                       cartridge_capacity=2_000_000, blocks_per_disk=900),
+            TenantSpec("corp", lane="background", strategy="logical",
+                       schedule="gfs:4x2", retention="window 10 days",
+                       data_bytes=200_000, seed=33, cartridges=8,
+                       cartridge_capacity=2_000_000, blocks_per_disk=900),
+        ],
+        drives=2, seed=4242)
+    seconds = float("inf")
+    totals = None
+    for _ in range(2):
+        root = tempfile.mkdtemp(prefix="repro-fleet-bench-")
+        try:
+            gc.collect()
+            start = time.perf_counter()
+            FleetService.init_fleet(root, spec)
+            totals = FleetService(root).run_days(3)
+            seconds = min(seconds, time.perf_counter() - start)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return {"seconds": seconds, "rate": totals["jobs"] / seconds,
+            "unit": "jobs/s"}
+
+
+# ---------------------------------------------------------------------------
 # Harness driver
 # ---------------------------------------------------------------------------
 
@@ -465,6 +517,13 @@ def run_harness(mode: str = "smoke", quiet: bool = True,
             "parallel.run_all_smoke", bench_parallel_run_all, profile)
     else:
         report["benchmarks"]["parallel.run_all_smoke"] = bench_parallel_run_all(1)
+    if mode in ("smoke", "full"):
+        note("running macro.fleet.smoke ...")
+        if profile:
+            report["benchmarks"]["macro.fleet.smoke"] = _profiled(
+                "macro.fleet.smoke", bench_fleet_smoke, profile)
+        else:
+            report["benchmarks"]["macro.fleet.smoke"] = bench_fleet_smoke()
     if mode == "smoke":
         macro_modes = ["smoke"]
     elif mode == "full":
@@ -631,6 +690,7 @@ if __name__ == "__main__":
 __all__ = [
     "BASELINE_NAME",
     "FULLSCALE_DATA_CAP",
+    "bench_fleet_smoke",
     "bench_obs_null",
     "bench_parallel_run_all",
     "calibrate",

@@ -9,6 +9,7 @@ answers the operator's question: *which tapes restore this volume to
 that day?*
 """
 
+from repro.catalog.lock import FileLock
 from repro.catalog.records import (
     BackupSet,
     CartridgeRecord,
@@ -25,6 +26,7 @@ __all__ = [
     "BackupSet",
     "CATALOG_VERSION",
     "CartridgeRecord",
+    "FileLock",
     "RestorePlan",
     "STATUS_OBSOLETE",
     "STATUS_OK",

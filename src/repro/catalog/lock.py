@@ -1,0 +1,171 @@
+"""An inter-process file lock guarding catalog commits.
+
+:meth:`BackupCatalog.save` is crash-safe against a *single* writer
+(temp-then-rename), but a fleet daemon and a CLI invocation pointed at
+the same catalog can interleave their temp writes and silently drop one
+commit.  :class:`FileLock` serialises them with a ``<path>.lock`` file:
+
+* where :mod:`fcntl` exists (Linux, macOS), the lock is a kernel
+  ``flock`` on the lockfile — released automatically if the holder
+  dies, so there is no stale-lock problem at all;
+* elsewhere the lock is ``O_EXCL`` creation of the lockfile.  The
+  holder's pid is recorded inside, and a contender that finds the pid
+  dead removes the stale file and retries.
+
+The pid is written in both modes so ``repro fleet status`` and humans
+can see who holds a catalog.  Acquisition polls with a deadline and
+raises :class:`~repro.errors.CatalogError` on timeout, naming the
+holder.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+
+from repro.errors import CatalogError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+_POLL_INTERVAL = 0.02
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    except OSError:  # pragma: no cover
+        return False
+    return True
+
+
+class FileLock:
+    """``with FileLock(path): ...`` — exclusive inter-process lock.
+
+    ``path`` is the lockfile itself (conventionally ``<target>.lock``).
+    Re-entrant within one object: nested ``acquire`` calls on the same
+    instance are counted, not deadlocked.
+    """
+
+    def __init__(self, path: str, timeout: float = 10.0):
+        self.path = path
+        self.timeout = timeout
+        self._fd = None
+        self._depth = 0
+
+    # -- diagnostics -------------------------------------------------------
+
+    def holder_pid(self):
+        """Pid recorded in the lockfile, or ``None`` if unreadable."""
+        try:
+            with open(self.path, "r") as handle:
+                return int(handle.read().strip() or "0") or None
+        except (OSError, ValueError):
+            return None
+
+    @property
+    def locked(self) -> bool:
+        return self._depth > 0
+
+    # -- acquisition -------------------------------------------------------
+
+    def acquire(self) -> "FileLock":
+        if self._depth:
+            self._depth += 1
+            return self
+        deadline = time.monotonic() + self.timeout
+        if fcntl is not None:
+            self._acquire_flock(deadline)
+        else:  # pragma: no cover - non-POSIX fallback
+            self._acquire_excl(deadline)
+        self._depth = 1
+        return self
+
+    def _acquire_flock(self, deadline: float) -> None:
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError as exc:
+                if exc.errno not in (errno.EAGAIN, errno.EACCES):
+                    os.close(fd)
+                    raise
+                if time.monotonic() >= deadline:
+                    os.close(fd)
+                    self._timeout_error()
+                time.sleep(_POLL_INTERVAL)
+        os.ftruncate(fd, 0)
+        os.write(fd, b"%d\n" % os.getpid())
+        self._fd = fd
+
+    def _acquire_excl(self, deadline: float) -> None:  # pragma: no cover
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+                os.write(fd, b"%d\n" % os.getpid())
+                self._fd = fd
+                return
+            except FileExistsError:
+                pid = self.holder_pid()
+                if pid is not None and not _pid_alive(pid):
+                    # Stale lock from a dead process: break it.
+                    try:
+                        os.unlink(self.path)
+                    except FileNotFoundError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    self._timeout_error()
+                time.sleep(_POLL_INTERVAL)
+
+    def _timeout_error(self) -> None:
+        pid = self.holder_pid()
+        raise CatalogError(
+            "timed out after %.1fs waiting for catalog lock %r (held by"
+            " pid %s)" % (self.timeout, self.path,
+                          pid if pid is not None else "unknown")
+        )
+
+    # -- release -----------------------------------------------------------
+
+    def release(self) -> None:
+        if not self._depth:
+            raise CatalogError("release of unheld lock %r" % self.path)
+        self._depth -= 1
+        if self._depth:
+            return
+        fd, self._fd = self._fd, None
+        if fcntl is not None:
+            # The lockfile is deliberately left in place: unlinking it
+            # would let a contender flock the orphaned inode while a
+            # fresh opener locks a new one — two holders.  A lingering
+            # empty lockfile is harmless under flock.
+            os.ftruncate(fd, 0)
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            os.close(fd)
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+__all__ = ["FileLock"]

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.errors import CatalogError
 from repro.backup.logical.dumpdates import DumpDates
+from repro.catalog.lock import FileLock
 from repro.catalog.records import (
     STATUS_OBSOLETE,
     STRATEGY_LOGICAL,
@@ -52,9 +53,23 @@ class BackupCatalog:
     # -- persistence -------------------------------------------------------
 
     def save(self) -> None:
-        """Write-temp-then-rename; a no-op for in-memory catalogs."""
+        """Write-temp-then-rename under the catalog's file lock; a no-op
+        for in-memory catalogs.
+
+        The rename is atomic against readers, but two concurrent writers
+        (a fleet daemon and a CLI invocation, say) would race their temp
+        files and silently drop one commit — the lock serialises them.
+        """
         if not self.path:
             return
+        with self._lock():
+            self._save_unlocked()
+
+    def _lock(self) -> FileLock:
+        """The inter-process lock guarding this catalog's commits."""
+        return FileLock(self.path + ".lock")
+
+    def _save_unlocked(self) -> None:
         document = {
             "version": CATALOG_VERSION,
             "next_set": self.next_set,

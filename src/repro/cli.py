@@ -740,6 +740,147 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Dispatch ``repro fleet init|run|status|submit|pause|resume|serve``."""
+    return args.fleet_fn(args)
+
+
+def cmd_fleet_init(args) -> int:
+    from repro.fleet import FleetService, load_fleet_spec
+
+    spec = load_fleet_spec(args.spec)
+    FleetService.init_fleet(args.root, spec)
+    print("fleet: initialised %s — %d tenant(s), %d drive(s), seed %d"
+          % (args.root, len(spec.tenants), spec.drives, spec.seed))
+    for tenant in spec.tenants:
+        print("  %-12s lane=%-11s %s  %s  %s"
+              % (tenant.name, tenant.lane, tenant.strategy,
+                 tenant.schedule, tenant.retention))
+    return 0
+
+
+def cmd_fleet_run(args) -> int:
+    from repro.fleet import FleetService
+
+    _obs_begin(args)
+    service = FleetService(args.root, jobs=args.jobs)
+    totals = service.run_days(args.days)
+    print("fleet: %d day(s), %d job(s), %s to tape, %d set(s) retired"
+          % (totals["days"], totals["jobs"],
+             fmt_bytes(totals["bytes_to_tape"]), totals["retired"]))
+    utilization = service.scheduler.utilization()
+    for index, busy in enumerate(utilization):
+        print("  drive %d: %.0f%% utilised" % (index, 100.0 * busy))
+    print("  mean queue wait: %.2f tick(s)" % service.scheduler.mean_wait())
+    events = None
+    if getattr(args, "trace_chrome", None):
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            events = tracer.events()
+    _obs_end(args)
+    if events:
+        # Overwrite the generic export _obs_end just wrote with one that
+        # groups events into named per-tenant process lanes.
+        from repro.fleet import export_fleet_trace
+
+        export_fleet_trace(events, args.trace_chrome,
+                           [t.name for t in service.spec.tenants])
+        print("trace: per-tenant chrome lanes -> %s" % args.trace_chrome)
+    return 0
+
+
+def _fleet_http(url: str, method: str = "GET", body=None):
+    import json as json_module
+    import urllib.request
+
+    data = None
+    if body is not None:
+        data = json_module.dumps(body).encode()
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request) as response:
+        return json_module.load(response)
+
+
+def cmd_fleet_status(args) -> int:
+    import json as json_module
+
+    if args.url:
+        document = _fleet_http(args.url.rstrip("/") + "/status")
+    else:
+        from repro.fleet import status_document, validate_status
+
+        document = status_document(args.root)
+        validate_status(document)
+    if args.json:
+        print(json_module.dumps(document, indent=1, sort_keys=True))
+        return 0
+    fleet = document["fleet"]
+    print("fleet %s: day %d, tick %d, %d drive(s)"
+          % (fleet["name"], fleet["day"], fleet["tick"],
+             fleet["drive_count"]))
+    for tenant in document["tenants"]:
+        flag = " [paused]" if tenant["paused"] else ""
+        print("  %-12s lane=%-11s %2d live set(s)  %10s to tape%s"
+              % (tenant["name"], tenant["lane"], tenant["live_sets"],
+                 fmt_bytes(tenant["bytes_to_tape"]), flag))
+    pending = document["jobs"]["pending"]
+    if pending:
+        print("  pending: %s" % ", ".join(
+            "%s/%s" % (entry["tenant"], entry["kind"]) for entry in pending))
+    recent = document["jobs"]["recent"]
+    for record in recent[-args.last:]:
+        print("  %s %-12s %-7s lane=%-11s day %2d drive %d wait %d"
+              % (record["job"], record["tenant"], record["kind"],
+                 record["lane"], record["day"], record["drive"],
+                 record["wait_ticks"]))
+    return 0
+
+
+def cmd_fleet_submit(args) -> int:
+    if args.url:
+        reply = _fleet_http(args.url.rstrip("/") + "/jobs", method="POST",
+                            body={"tenant": args.tenant, "kind": args.kind,
+                                  "lane": args.lane, "day": args.day})
+        entry = reply["queued"]
+    else:
+        from repro.fleet import submit_job
+
+        entry = submit_job(args.root, args.tenant, kind=args.kind,
+                           lane=args.lane, day=args.day)
+    print("fleet: queued %s/%s on lane %s (runs next service day)"
+          % (entry["tenant"], entry["kind"], entry["lane"]))
+    return 0
+
+
+def cmd_fleet_pause(args) -> int:
+    from repro.fleet import set_paused
+
+    paused = set_paused(args.root, args.tenant,
+                        args.fleet_cmd == "pause")
+    print("fleet: paused tenants: %s" % (", ".join(paused) or "(none)"))
+    return 0
+
+
+def cmd_fleet_serve(args) -> int:
+    from repro.fleet import make_server
+
+    server = make_server(args.root, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print("fleet: serving %s on http://%s:%d (Ctrl-C to stop)"
+          % (args.root, host, port))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.bench.wallclock import main as wallclock_main
 
@@ -982,6 +1123,72 @@ def build_parser() -> argparse.ArgumentParser:
                         " commits stay ordered and single-writer)")
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_run_campaign)
+
+    p = sub.add_parser("fleet",
+                       help="multi-tenant backup service over shared drives")
+    fleet_sub = p.add_subparsers(dest="fleet_cmd", required=True)
+    p.set_defaults(fn=cmd_fleet)
+
+    fp = fleet_sub.add_parser("init",
+                              help="create a fleet root from a spec")
+    fp.add_argument("root", help="fleet directory to create")
+    fp.add_argument("--spec", required=True,
+                    help="fleet spec file (JSON, or TOML on 3.11+)")
+    fp.set_defaults(fleet_fn=cmd_fleet_init)
+
+    fp = fleet_sub.add_parser("run",
+                              help="advance the fleet N simulated days")
+    fp.add_argument("root")
+    fp.add_argument("--days", type=int, default=1)
+    fp.add_argument("--jobs", type=int, default=1,
+                    help="run each batch's dumps in N worker processes"
+                         " (event log and catalogs are byte-identical"
+                         " to a serial run)")
+    _add_obs_flags(fp)
+    fp.set_defaults(fleet_fn=cmd_fleet_run)
+
+    fp = fleet_sub.add_parser("status",
+                              help="show tenants, drives, and recent jobs")
+    fp.add_argument("root", nargs="?", default=".")
+    fp.add_argument("--json", action="store_true",
+                    help="print the raw status document")
+    fp.add_argument("--url", default=None,
+                    help="query a running 'fleet serve' endpoint instead"
+                         " of reading the root directly")
+    fp.add_argument("--last", type=int, default=5,
+                    help="recent job lines to show")
+    fp.set_defaults(fleet_fn=cmd_fleet_status)
+
+    fp = fleet_sub.add_parser("submit",
+                              help="queue an ad-hoc dump or restore job")
+    fp.add_argument("root", nargs="?", default=".")
+    fp.add_argument("--tenant", required=True)
+    fp.add_argument("--kind", choices=["dump", "restore"], default="dump")
+    fp.add_argument("--lane",
+                    choices=["interactive", "daily", "background"],
+                    default="interactive")
+    fp.add_argument("--day", type=int, default=None,
+                    help="restore target day (default: latest)")
+    fp.add_argument("--url", default=None,
+                    help="POST to a running 'fleet serve' endpoint")
+    fp.set_defaults(fleet_fn=cmd_fleet_submit)
+
+    fp = fleet_sub.add_parser("pause", help="pause a tenant's schedule")
+    fp.add_argument("root")
+    fp.add_argument("tenant")
+    fp.set_defaults(fleet_fn=cmd_fleet_pause)
+
+    fp = fleet_sub.add_parser("resume", help="resume a paused tenant")
+    fp.add_argument("root")
+    fp.add_argument("tenant")
+    fp.set_defaults(fleet_fn=cmd_fleet_pause)
+
+    fp = fleet_sub.add_parser("serve",
+                              help="serve the JSON status/REST API")
+    fp.add_argument("root")
+    fp.add_argument("--host", default="127.0.0.1")
+    fp.add_argument("--port", type=int, default=7322)
+    fp.set_defaults(fleet_fn=cmd_fleet_serve)
 
     p = sub.add_parser("trace",
                        help="inspect/export a --trace JSONL file")

@@ -1,0 +1,513 @@
+"""The fleet service: a deterministic multi-tenant backup daemon.
+
+The service owns a fleet root (see :mod:`repro.fleet.tenant` for the
+layout) and advances it through simulated days.  Each day:
+
+1. every unpaused tenant's scheduled dump is submitted to the
+   :class:`~repro.fleet.scheduler.FleetScheduler` on the tenant's lane,
+   along with any ad-hoc jobs queued via the API or ``repro fleet
+   submit``;
+2. the queue drains in **batch barriers**: the scheduler admits a batch
+   onto the free drives, the batch executes on a
+   :class:`~repro.parallel.pool.TaskPool` (the same
+   :func:`~repro.manager.campaign.run_volume_day` unit the campaign
+   driver uses), and the parent commits every outcome to the owning
+   tenant's catalog in admission order before the next tick;
+3. retention runs per tenant and everything is persisted.
+
+Determinism contract: job payloads (bytes, files, blocks, simulated
+times) are pure functions of (spec, seed, day); admission order is a
+pure function of submission history; commits happen in admission order
+regardless of worker completion order; ticks — not wall clock — stamp
+the event log.  A fleet run is therefore byte-identical between
+``jobs=1`` and ``jobs=N``, event log and tenant catalogs included,
+which CI checks on every push.
+
+Observability: each job becomes a ``fleet``-category span on its
+tenant's lane (ts = start tick, dur = ticks held), and each tick
+samples counter events — per-tenant queue depth and per-drive busy
+state — which is where queue-wait and drive-utilization signals come
+from.  :func:`export_fleet_trace` maps tenants onto named Chrome
+processes.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.catalog.lock import FileLock
+from repro.fleet.scheduler import DriveTable, FleetScheduler, Job
+from repro.fleet.tenant import (
+    FleetError,
+    FleetSpec,
+    Tenant,
+    load_fleet_spec,
+)
+from repro.manager.campaign import restore_point_in_time, run_volume_day
+from repro.manager.retention import prune
+from repro.obs.export import export_chrome_trace
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import get_tracer
+from repro.parallel.pool import TaskPool, TaskSpec
+from repro.workload.mutate import MutationConfig
+
+STATE_VERSION = 1
+
+#: Last-N job results kept in state.json for the status document.
+RECENT_JOBS = 20
+
+#: Chrome-export pid base for tenant lanes, above any worker index the
+#: pool could assign (workers get pid = declaration index + 1).
+TENANT_PID_BASE = 1000
+
+
+def _default_state() -> Dict:
+    return {
+        "version": STATE_VERSION,
+        "day": 0,
+        "tick": 0,
+        "job_seq": 0,
+        "paused": [],
+        "pending": [],
+        "recent": [],
+        "drr": {"cursors": {}, "deficits": {}},
+    }
+
+
+class FleetService:
+    """Run a fleet root through simulated days; everything on disk."""
+
+    def __init__(self, root: str, jobs: int = 1):
+        self.root = root
+        self.jobs = jobs
+        self.spec = load_fleet_spec(self.spec_path(root))
+        self.state = self._load_state()
+        self.tenants: Dict[str, Tenant] = {}
+        for spec in self.spec.tenants:
+            tenant = Tenant(spec, self.tenant_root(root, spec.name))
+            self.tenants[spec.name] = tenant.load()
+        self.drives = DriveTable(self.spec.drives)
+        self.scheduler = FleetScheduler(self.drives,
+                                        quantum=self.spec.quantum)
+        self.scheduler.tick = self.state["tick"]
+        drr = self.state.get("drr", {})
+        for lane, cursor in drr.get("cursors", {}).items():
+            self.scheduler.cursors[lane] = cursor
+        for lane, deficits in drr.get("deficits", {}).items():
+            self.scheduler.deficits[lane].update(deficits)
+        self.task_pool = TaskPool(jobs, persistent=True)
+
+    # -- paths -------------------------------------------------------------
+
+    @staticmethod
+    def spec_path(root: str) -> str:
+        for name in ("fleet.json", "fleet.toml"):
+            candidate = os.path.join(root, name)
+            if os.path.exists(candidate):
+                return candidate
+        return os.path.join(root, "fleet.json")
+
+    @staticmethod
+    def state_path(root: str) -> str:
+        return os.path.join(root, "state.json")
+
+    @staticmethod
+    def events_path(root: str) -> str:
+        return os.path.join(root, "events.jsonl")
+
+    @staticmethod
+    def tenant_root(root: str, name: str) -> str:
+        return os.path.join(root, "tenants", name)
+
+    # -- fleet creation ----------------------------------------------------
+
+    @classmethod
+    def init_fleet(cls, root: str, spec: FleetSpec) -> "FleetService":
+        """Create a fleet root from a spec: layout, tenants, state."""
+        if os.path.exists(cls.state_path(root)):
+            raise FleetError("fleet root %s is already initialised" % root)
+        os.makedirs(root, exist_ok=True)
+        with open(os.path.join(root, "fleet.json"), "w") as handle:
+            json.dump(spec.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        for tenant_spec in spec.tenants:
+            Tenant(tenant_spec, cls.tenant_root(root, tenant_spec.name)).create()
+        save_state(root, _default_state())
+        return cls(root)
+
+    # -- state persistence -------------------------------------------------
+
+    def _load_state(self) -> Dict:
+        return load_state(self.root)
+
+    def _save_state(self) -> None:
+        self.state["tick"] = self.scheduler.tick
+        self.state["drr"] = {
+            "cursors": dict(self.scheduler.cursors),
+            "deficits": {lane: dict(d)
+                         for lane, d in self.scheduler.deficits.items()},
+        }
+        with FileLock(self.state_path(self.root) + ".lock"):
+            # Submissions and pause toggles that landed on disk while
+            # this run held the state in memory must survive the write.
+            disk = load_state(self.root)
+            self.state["pending"] = disk.get("pending", [])
+            self.state["paused"] = disk.get("paused", [])
+            _write_state(self.root, self.state)
+
+    def _take_pending(self) -> List[Dict]:
+        """Atomically claim jobs queued on disk by the API/CLI.
+
+        Re-reads state under the lock so submissions that landed after
+        this service loaded are not lost, then clears the disk queue.
+        """
+        with FileLock(self.state_path(self.root) + ".lock"):
+            disk = load_state(self.root)
+            pending = disk.get("pending", [])
+            if pending:
+                disk["pending"] = []
+                _write_state(self.root, disk)
+            # Pause toggles written by the API take effect from the next
+            # submission pass.
+            self.state["paused"] = disk.get("paused",
+                                            self.state.get("paused", []))
+        self.state["pending"] = []
+        return pending
+
+    def _next_job_id(self) -> str:
+        seq = self.state["job_seq"]
+        self.state["job_seq"] = seq + 1
+        return "J%05d" % seq
+
+    # -- daemon loop -------------------------------------------------------
+
+    def run_days(self, days: int) -> Dict:
+        """Advance the whole fleet ``days`` simulated days."""
+        totals = {"days": 0, "jobs": 0, "bytes_to_tape": 0, "retired": 0}
+        try:
+            for _ in range(days):
+                day_stats = self.run_day()
+                totals["days"] += 1
+                totals["jobs"] += day_stats["jobs"]
+                totals["bytes_to_tape"] += day_stats["bytes_to_tape"]
+                totals["retired"] += day_stats["retired"]
+        finally:
+            self.task_pool.close()
+        self._append_events()
+        for tenant in self.tenants.values():
+            tenant.save_state()
+        self._save_state()
+        return totals
+
+    def run_day(self) -> Dict:
+        """One day: submit scheduled + pending jobs, drain, prune."""
+        day = self.state["day"]
+        paused = set(self.state.get("paused", []))
+        for index, spec in enumerate(self.spec.tenants):
+            if spec.name in paused:
+                continue
+            self.scheduler.submit(Job(
+                self._next_job_id(), spec.name, "dump", spec.lane, day,
+                self.scheduler.tick,
+                payload={"weight": spec.weight, "tenant_index": index,
+                         "scheduled": True}))
+        for entry in self._take_pending():
+            name = entry.get("tenant")
+            if name not in self.tenants:
+                raise FleetError("pending job names unknown tenant %r"
+                                 % (name,))
+            spec = self.spec.tenant(name)
+            self.scheduler.submit(Job(
+                self._next_job_id(), name, entry.get("kind", "dump"),
+                entry.get("lane", "interactive"), day,
+                self.scheduler.tick,
+                payload={"weight": spec.weight,
+                         "tenant_index": self.spec.tenants.index(spec),
+                         "scheduled": False,
+                         "target_day": entry.get("day")}))
+        stats = self._drain(day)
+        retired = 0
+        for spec in self.spec.tenants:
+            tenant = self.tenants[spec.name]
+            outcome = prune(tenant.catalog, tenant.pool, now_day=day)
+            retired += sum(len(ids) for ids in outcome.values())
+        stats["retired"] = retired
+        self.state["day"] = day + 1
+        return stats
+
+    # -- batch execution ---------------------------------------------------
+
+    def _drain(self, day: int) -> Dict:
+        stats = {"jobs": 0, "bytes_to_tape": 0, "retired": 0}
+        while self.scheduler.queue_depth():
+            batch = self.scheduler.admit()
+            if not batch:
+                raise FleetError("queued jobs but nothing admissible")
+            # Sample while the batch holds its drives: drive_busy=1 on
+            # held drives, queue_depth counting the jobs still waiting.
+            self._sample_counters()
+            dumps = [job for job in batch if job.kind == "dump"]
+            restores = [job for job in batch if job.kind == "restore"]
+            outcomes = self._run_dumps(dumps, day)
+            for job in restores:
+                outcomes[job.job_id] = self._run_restore(job)
+            self.scheduler.advance_tick()
+            for job in batch:
+                outcome = outcomes[job.job_id]
+                self.scheduler.complete(job, **outcome)
+                self._observe_job(job, outcome)
+                self._record_recent(job, outcome)
+                stats["jobs"] += 1
+                stats["bytes_to_tape"] += outcome.get("bytes_to_tape", 0)
+        self._sample_counters()
+        return stats
+
+    def _run_dumps(self, jobs: List[Job], day: int) -> Dict[str, Dict]:
+        """Execute a batch's dump jobs on the worker pool; commit in
+        admission order."""
+        if not jobs:
+            return {}
+        specs = []
+        staged = []
+        for job in jobs:
+            tenant = self.tenants[job.tenant]
+            volume = tenant.volume
+            level = volume.effective_level(
+                tenant.catalog, volume.schedule.level_for(day))
+            job_name = "%s.%s" % (job.tenant, job.job_id)
+            drive = tenant.pool.drive_for_job(job_name, reserve=True)
+            snapshot_name = None
+            base_snapshot = None
+            if volume.strategy == "image":
+                snapshot_name = "img.%s.%s" % (job.tenant, job.job_id)
+                if level > 0:
+                    base_snapshot = volume.base_snapshot_for(level)
+            mutation = None
+            if job.payload.get("scheduled") and day > 0:
+                mutation = MutationConfig(
+                    seed=self.spec.seed + 1009 * day
+                    + 97 * job.payload["tenant_index"])
+            specs.append(TaskSpec(job_name, run_volume_day, (
+                volume.fs, volume.tree, volume.strategy, volume.subtree,
+                level, drive, job_name, snapshot_name, base_snapshot,
+                mutation, None,
+                (copy.deepcopy(tenant.catalog.dumpdates)
+                 if volume.strategy == "logical" else None),
+                None, None,
+            )))
+            staged.append((job, tenant, level, snapshot_name, base_snapshot,
+                           drive))
+        values = self.task_pool.map_values(specs)
+        outcomes: Dict[str, Dict] = {}
+        for (job, tenant, level, snapshot_name, base_snapshot,
+             drive), value in zip(staged, values):
+            fs, tree, worker_drive, payload = value
+            volume = tenant.volume
+            volume.fs = fs
+            volume.tree = tree
+            tenant.pool.adopt_cartridges(worker_drive)
+            backup_set = tenant.catalog.record_set(
+                fsid=volume.fsid, subtree=volume.subtree,
+                strategy=volume.strategy, level=level, day=day,
+                date=payload["date"], snapshot=snapshot_name,
+                base_snapshot=base_snapshot,
+                start_time=payload["start"], end_time=payload["end"],
+                bytes_to_tape=payload["bytes_to_tape"],
+                files=payload["files"], blocks=payload["blocks"],
+                save=False,
+            )
+            tenant.pool.commit_job(worker_drive, backup_set)
+            if volume.strategy == "image":
+                volume.supersede_snapshots(level, snapshot_name,
+                                           payload["date"])
+            tenant.dumps += 1
+            tenant.bytes_to_tape += payload["bytes_to_tape"]
+            outcomes[job.job_id] = {
+                "status": "ok", "level": level,
+                "set_id": backup_set.set_id,
+                "bytes_to_tape": payload["bytes_to_tape"],
+                "files": payload["files"], "blocks": payload["blocks"],
+                "sim_seconds": round(payload["end"] - payload["start"], 6),
+            }
+        return outcomes
+
+    def _run_restore(self, job: Job) -> Dict:
+        """Ad-hoc restore: replay the chain in the parent (read-only
+        against the tenant's media; no worker shipping needed)."""
+        tenant = self.tenants[job.tenant]
+        target_day = job.payload.get("target_day")
+        fs, plan = restore_point_in_time(
+            tenant.catalog, tenant.pool, tenant.volume.fsid,
+            day=target_day, name="restore.%s" % job.job_id)
+        files = sum(1 for _ in fs.walk("/"))
+        return {"status": "ok", "sets": len(plan.sets),
+                "target_day": plan.sets[-1].day, "nodes": files}
+
+    # -- observability -----------------------------------------------------
+
+    def _sample_counters(self) -> None:
+        """One counter sample per tick: queue depths and drive states."""
+        tracer = get_tracer()
+        tick = self.scheduler.tick
+        if tracer.enabled:
+            for spec in self.spec.tenants:
+                tracer.counter("queue_depth",
+                               self.scheduler.queue_depth(spec.name),
+                               cat="fleet", ts=float(tick),
+                               tid="tenant/%s" % spec.name)
+            for index, holder in enumerate(self.drives.holders):
+                tracer.counter("drive_busy", 0 if holder is None else 1,
+                               cat="fleet", ts=float(tick),
+                               tid="drive/%d" % index)
+        if REGISTRY.enabled:
+            for index, holder in enumerate(self.drives.holders):
+                if holder is not None:
+                    REGISTRY.counter("fleet.drive.%d.busy_ticks"
+                                     % index).inc()
+
+    def _observe_job(self, job: Job, outcome: Dict) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.complete(
+                job.job_id, cat="fleet", ts=float(job.start_tick),
+                dur=float(job.end_tick - job.start_tick),
+                tid="tenant/%s" % job.tenant,
+                args={"kind": job.kind, "lane": job.lane, "day": job.day,
+                      "drive": job.drive, "wait_ticks": job.wait_ticks,
+                      "status": outcome.get("status")})
+        if REGISTRY.enabled:
+            REGISTRY.counter("fleet.jobs").inc()
+            REGISTRY.counter("fleet.bytes_to_tape").inc(
+                outcome.get("bytes_to_tape", 0))
+            REGISTRY.histogram(
+                "fleet.tenant.%s.wait_ticks" % job.tenant,
+                (0, 1, 2, 4, 8, 16)).observe(job.wait_ticks)
+
+    def _record_recent(self, job: Job, outcome: Dict) -> None:
+        recent = self.state.setdefault("recent", [])
+        recent.append({
+            "job": job.job_id, "tenant": job.tenant, "kind": job.kind,
+            "lane": job.lane, "day": job.day, "drive": job.drive,
+            "submit_tick": job.submit_tick, "start_tick": job.start_tick,
+            "end_tick": job.end_tick, "wait_ticks": job.wait_ticks,
+            "outcome": outcome,
+        })
+        del recent[:-RECENT_JOBS]
+
+    def _append_events(self) -> None:
+        """Append this run's scheduler transitions to events.jsonl."""
+        events = self.scheduler.events
+        if not events:
+            return
+        with open(self.events_path(self.root), "a") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+        self.scheduler.events = []
+
+    def export_trace(self, path: str) -> int:
+        """Chrome-export the parent tracer with per-tenant lanes."""
+        return export_fleet_trace(get_tracer().events(), path,
+                                  [s.name for s in self.spec.tenants])
+
+
+def export_fleet_trace(events: List[dict], path: str,
+                       tenants: List[str]) -> int:
+    """Write a Chrome trace with one named process lane per tenant.
+
+    Events on a ``tenant/<name>`` tid move to that tenant's pid; drive
+    counters and everything else stay on the fleet process.  Worker
+    engine events (pid 1..N from the pool merge) keep their pids, which
+    sit far below :data:`TENANT_PID_BASE`.
+    """
+    pid_of = {name: TENANT_PID_BASE + index
+              for index, name in enumerate(tenants)}
+    mapped = []
+    for event in events:
+        tid = event.get("tid")
+        if isinstance(tid, str) and tid.startswith("tenant/"):
+            name = tid[len("tenant/"):]
+            if name in pid_of:
+                event = dict(event)
+                event["pid"] = pid_of[name]
+        mapped.append(event)
+    names = {pid: "tenant:%s" % name for name, pid in pid_of.items()}
+    names[0] = "fleet"
+    return export_chrome_trace(mapped, path, pid_names=names)
+
+
+# -- on-disk state helpers (shared with the API server) --------------------
+
+def load_state(root: str) -> Dict:
+    path = os.path.join(root, "state.json")
+    try:
+        with open(path) as handle:
+            state = json.load(handle)
+    except OSError as error:
+        raise FleetError("cannot read fleet state %s: %s" % (path, error))
+    if state.get("version") != STATE_VERSION:
+        raise FleetError("fleet state %s has version %r, want %d"
+                         % (path, state.get("version"), STATE_VERSION))
+    return state
+
+
+def _write_state(root: str, state: Dict) -> None:
+    path = os.path.join(root, "state.json")
+    temp = path + ".tmp"
+    with open(temp, "w") as handle:
+        json.dump(state, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp, path)
+
+
+def save_state(root: str, state: Dict) -> None:
+    """Locked, crash-safe state.json write."""
+    with FileLock(os.path.join(root, "state.json") + ".lock"):
+        _write_state(root, state)
+
+
+def submit_job(root: str, tenant: str, kind: str = "dump",
+               lane: str = "interactive",
+               day: Optional[int] = None) -> Dict:
+    """Queue an ad-hoc job on disk; the next service day picks it up."""
+    if kind not in ("dump", "restore"):
+        raise FleetError("unknown job kind %r" % (kind,))
+    spec = load_fleet_spec(FleetService.spec_path(root))
+    spec.tenant(tenant)  # raises FleetError for unknown tenants
+    entry = {"tenant": tenant, "kind": kind, "lane": lane, "day": day}
+    with FileLock(os.path.join(root, "state.json") + ".lock"):
+        state = load_state(root)
+        state.setdefault("pending", []).append(entry)
+        _write_state(root, state)
+    return entry
+
+
+def set_paused(root: str, tenant: str, paused: bool) -> List[str]:
+    """Pause or resume a tenant; returns the new paused list."""
+    spec = load_fleet_spec(FleetService.spec_path(root))
+    spec.tenant(tenant)
+    with FileLock(os.path.join(root, "state.json") + ".lock"):
+        state = load_state(root)
+        names = set(state.get("paused", []))
+        if paused:
+            names.add(tenant)
+        else:
+            names.discard(tenant)
+        state["paused"] = sorted(names)
+        _write_state(root, state)
+        return state["paused"]
+
+
+__all__ = [
+    "FleetService",
+    "RECENT_JOBS",
+    "STATE_VERSION",
+    "export_fleet_trace",
+    "load_state",
+    "save_state",
+    "set_paused",
+    "submit_job",
+]

@@ -16,6 +16,7 @@ from repro.manager.campaign import (
     CampaignDriver,
     CampaignVolume,
     restore_point_in_time,
+    run_volume_day,
 )
 from repro.manager.media import MediaPool
 from repro.manager.retention import (
@@ -41,4 +42,5 @@ __all__ = [
     "parse_schedule",
     "prune",
     "restore_point_in_time",
+    "run_volume_day",
 ]

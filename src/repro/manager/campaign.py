@@ -39,7 +39,7 @@ from repro.workload.mutate import MutationConfig, apply_mutations
 DAILY_SNAPSHOT = "day.%d"
 
 
-def _volume_day_task(
+def run_volume_day(
     fs,
     tree,
     strategy: str,
@@ -55,7 +55,7 @@ def _volume_day_task(
     costs: Optional[CostModel],
     profile: Optional[HardwareProfile],
 ):
-    """One volume's whole day, run in a worker process.
+    """One volume's whole day, runnable in a worker process.
 
     Ages the (pickled copy of the) volume, dumps it in its own
     :class:`TimedRun`, and ships the mutated file system, tree, and drive
@@ -65,6 +65,11 @@ def _volume_day_task(
     only the *timings* differ, because each volume gets its own CPU and
     disk channels ("independent filers") instead of contending in one
     shared run.
+
+    This is the unit of work both the :class:`CampaignDriver` and the
+    fleet scheduler (:mod:`repro.fleet.scheduler`) pack onto drives — it
+    is a module-level function so :class:`~repro.parallel.pool.TaskSpec`
+    can pickle it.
     """
     if mutation is not None:
         apply_mutations(fs, tree, mutation)
@@ -132,6 +137,20 @@ class CampaignVolume:
                 self.fs.snapshot_delete(old_name)
         self.kept_snapshots[level] = (name, date)
 
+    def effective_level(self, catalog, level: int) -> int:
+        """Downgrade to a full when the scheduled level has no base yet."""
+        if level == 0:
+            return 0
+        if self.strategy == STRATEGY_LOGICAL:
+            try:
+                catalog.dumpdates.base_for(self.fsid, self.subtree, level)
+            except IncrementalError:
+                return 0
+            return level
+        if self.base_snapshot_for(level) is None:
+            return 0
+        return level
+
 
 class CampaignDriver:
     """Run a multi-day, multi-volume backup campaign against a catalog."""
@@ -177,19 +196,7 @@ class CampaignDriver:
         )
 
     def _effective_level(self, volume: CampaignVolume, level: int) -> int:
-        """Downgrade to a full when the scheduled level has no base yet."""
-        if level == 0:
-            return 0
-        if volume.strategy == STRATEGY_LOGICAL:
-            try:
-                self.catalog.dumpdates.base_for(
-                    volume.fsid, volume.subtree, level)
-            except IncrementalError:
-                return 0
-            return level
-        if volume.base_snapshot_for(level) is None:
-            return 0
-        return level
+        return volume.effective_level(self.catalog, level)
 
     def run_day(self) -> Dict[str, object]:
         """Age every volume, dump them concurrently, record the sets.
@@ -305,7 +312,7 @@ class CampaignDriver:
                 snapshot_name = "img.%s.d%d" % (volume.fsid, day)
                 if level > 0:
                     base_snapshot = volume.base_snapshot_for(level)
-            specs.append(TaskSpec(names[index], _volume_day_task, (
+            specs.append(TaskSpec(names[index], run_volume_day, (
                 volume.fs, volume.tree, volume.strategy, volume.subtree,
                 level, drive, names[index], snapshot_name, base_snapshot,
                 self._mutation_config(day, index) if day > 0 else None,
@@ -409,4 +416,5 @@ __all__ = [
     "CampaignVolume",
     "DAILY_SNAPSHOT",
     "restore_point_in_time",
+    "run_volume_day",
 ]

@@ -16,6 +16,15 @@ The catalog tracks every cartridge's label, capacity, and status
 
 One cartridge belongs to at most one backup set, which is what makes
 recycling a chain safe: no surviving set shares its media.
+
+Long-lived schedulers (the fleet service) additionally *reserve* the
+scratch cartridges they stack into an in-flight job's drive: a reserved
+cartridge is excluded from every later drive build and refuses to be
+recycled until the job commits or releases it.  A short-lived serial
+campaign never needs reservations — each job's bytes land before the
+next drive is built, so the ``used > 0`` exclusion suffices — but a
+daemon that stages jobs into worker processes holds unwritten scratch
+media across arbitrary interleavings with prune and ad-hoc submissions.
 """
 
 from __future__ import annotations
@@ -35,6 +44,8 @@ class MediaPool:
     def __init__(self, catalog):
         self.catalog = catalog
         self._cartridges: Dict[str, TapeCartridge] = {}
+        # label -> job name holding the reservation (in-flight drives).
+        self._reserved: Dict[str, str] = {}
 
     # -- inventory ---------------------------------------------------------
 
@@ -61,19 +72,25 @@ class MediaPool:
 
     # -- job lifecycle -----------------------------------------------------
 
-    def drive_for_job(self, name: str) -> TapeDrive:
+    def drive_for_job(self, name: str, reserve: bool = False) -> TapeDrive:
         """A drive stacked with every free scratch cartridge, write order
         fixed.
 
         A scratch cartridge another in-flight job has already written
-        (``used > 0``, not yet committed) is excluded — concurrent
-        same-day jobs must never share media.
+        (``used > 0``, not yet committed) or reserved is excluded —
+        concurrent same-day jobs must never share media.  With
+        ``reserve=True`` the stacked cartridges are reserved under
+        ``name`` until :meth:`commit_job` or :meth:`release_drive`.
         """
         cartridges = [self._cartridges[label]
                       for label in self.scratch_labels()
-                      if not self._cartridges[label].used]
+                      if not self._cartridges[label].used
+                      and label not in self._reserved]
         if not cartridges:
             raise TapeError("media pool has no scratch cartridges")
+        if reserve:
+            for cartridge in cartridges:
+                self._reserved[cartridge.label] = name
         return TapeDrive(TapeStacker(cartridges, name=name))
 
     def partitioned_drives(self, names: List[str]) -> List[TapeDrive]:
@@ -88,7 +105,8 @@ class MediaPool:
         """
         free = [self._cartridges[label]
                 for label in self.scratch_labels()
-                if not self._cartridges[label].used]
+                if not self._cartridges[label].used
+                and label not in self._reserved]
         if len(free) < len(names):
             raise TapeError(
                 "media pool has %d free scratch cartridges for %d"
@@ -97,6 +115,9 @@ class MediaPool:
         stacks: List[List[TapeCartridge]] = [[] for _ in names]
         for index, cartridge in enumerate(free):
             stacks[index % len(names)].append(cartridge)
+        for name, stack in zip(names, stacks):
+            for cartridge in stack:
+                self._reserved[cartridge.label] = name
         return [TapeDrive(TapeStacker(stack, name=name))
                 for name, stack in zip(names, stacks)]
 
@@ -116,8 +137,10 @@ class MediaPool:
 
         The drive loads its magazine sequentially, so the cartridges it
         wrote are exactly the loaded prefix (``next_slot``); other used
-        cartridges in the magazine belong to concurrent jobs.
+        cartridges in the magazine belong to concurrent jobs.  Any
+        reservation the drive held on its magazine is released.
         """
+        self.release_drive(drive)
         written = drive.stacker.cartridges[:drive.stacker.next_slot]
         labels = []
         for cartridge in written:
@@ -135,6 +158,16 @@ class MediaPool:
         backup_set.cartridges = labels
         return labels
 
+    def release_drive(self, drive: TapeDrive) -> None:
+        """Drop every reservation held on the drive's magazine (for a
+        job that was abandoned before :meth:`commit_job`)."""
+        for cartridge in drive.stacker.cartridges:
+            self._reserved.pop(cartridge.label, None)
+
+    def reserved_by(self, label: str):
+        """The job name holding ``label``'s reservation, or ``None``."""
+        return self._reserved.get(label)
+
     def drive_for_restore(self, backup_set: BackupSet) -> TapeDrive:
         """A rewound drive holding exactly the set's cartridges, in order."""
         if not backup_set.cartridges:
@@ -147,7 +180,19 @@ class MediaPool:
                                      name="restore." + backup_set.set_id))
 
     def recycle(self, backup_set: BackupSet) -> List[str]:
-        """Erase a retired set's cartridges and return them to scratch."""
+        """Erase a retired set's cartridges and return them to scratch.
+
+        Refused outright if any cartridge is reserved by an in-flight
+        job — erasing it here would hand the same scratch cartridge to
+        two jobs once the reservation holder commits.
+        """
+        for label in backup_set.cartridges:
+            holder = self._reserved.get(label)
+            if holder is not None:
+                raise CatalogError(
+                    "cannot recycle set %s: cartridge %r is reserved by"
+                    " in-flight job %r" % (backup_set.set_id, label, holder)
+                )
         recycled = []
         for label in backup_set.cartridges:
             record = self.catalog.cartridge_record(label)

@@ -12,22 +12,28 @@ appearance per pid, and metadata events precede everything else.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 _US = 1_000_000  # simulated seconds -> microseconds
 
-_CHROME_PHASES = ("B", "E", "X", "i", "M")
+_CHROME_PHASES = ("B", "E", "X", "i", "C", "M")
 
 
-def to_chrome_trace(events: Iterable[dict]) -> dict:
-    """A ``{"traceEvents": [...]}`` document viewable in Perfetto."""
+def to_chrome_trace(events: Iterable[dict],
+                    pid_names: Optional[Dict[object, str]] = None) -> dict:
+    """A ``{"traceEvents": [...]}`` document viewable in Perfetto.
+
+    ``pid_names`` overrides the default ``repro``/``worker-N`` process
+    labels — the fleet exporter passes tenant names so each tenant gets
+    its own named lane in the viewer.
+    """
     tid_map: Dict[Tuple[object, object], int] = {}
     out: List[dict] = []
     meta: List[dict] = []
 
     for event in events:
         ph = event.get("ph")
-        if ph not in ("B", "E", "X", "i"):
+        if ph not in ("B", "E", "X", "i", "C"):
             continue
         pid = event.get("pid", 0)
         tid = event.get("tid", 0)
@@ -57,9 +63,11 @@ def to_chrome_trace(events: Iterable[dict]) -> dict:
         out.append(chrome)
 
     pids = sorted({pid for pid, _tid in tid_map}, key=str)
+    names = pid_names or {}
     process_meta = [
         {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
-         "args": {"name": "repro" if pid == 0 else "worker-%s" % pid}}
+         "args": {"name": names.get(
+             pid, "repro" if pid == 0 else "worker-%s" % pid)}}
         for pid in pids
     ]
     return {"traceEvents": process_meta + meta + out,
@@ -90,9 +98,10 @@ def validate_chrome_trace(doc: dict) -> None:
                              % context)
 
 
-def export_chrome_trace(events: Iterable[dict], path: str) -> int:
+def export_chrome_trace(events: Iterable[dict], path: str,
+                        pid_names: Optional[Dict[object, str]] = None) -> int:
     """Write the Chrome-format document; returns the event count."""
-    doc = to_chrome_trace(events)
+    doc = to_chrome_trace(events, pid_names=pid_names)
     validate_chrome_trace(doc)
     with open(path, "w") as handle:
         json.dump(doc, handle, sort_keys=True, indent=None,

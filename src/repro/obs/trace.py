@@ -96,6 +96,17 @@ class Tracer:
             event["args"] = args
         return self._stamp(event, ts)
 
+    def counter(self, name: str, value: float, cat: str = "",
+                ts: Optional[float] = None, tid: object = 0) -> dict:
+        """A sampled counter ("C") event — queue depths, utilizations.
+
+        Chrome's trace viewer draws these as stacked area charts per
+        (pid, name) lane; the fleet scheduler samples one per tick.
+        """
+        event = {"ph": "C", "name": name, "cat": cat, "pid": 0, "tid": tid,
+                 "args": {"value": value}}
+        return self._stamp(event, ts)
+
     # -- collection / merge -------------------------------------------------
 
     def events(self) -> List[dict]:
@@ -162,6 +173,9 @@ class NullTracer:
         return None
 
     def instant(self, *args, **kwargs):
+        return None
+
+    def counter(self, *args, **kwargs):
         return None
 
     def events(self):

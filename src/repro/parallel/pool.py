@@ -294,13 +294,23 @@ class TaskPool:
     ``jobs=1`` (or no usable ``fork``) runs every spec in-process with the
     same timeout/retry semantics, so the serial path exercises exactly the
     code the parallel path does.
+
+    A long-lived scheduler (the fleet service) passes ``persistent=True``
+    to reuse one executor across many :meth:`run` calls instead of paying
+    a fork-and-teardown per batch; call :meth:`close` (or use the pool as
+    a context manager) when done.  Because workers fork when the executor
+    is first created, anything they must inherit from the parent — an
+    enabled tracer, registry state — must be in place before the first
+    persistent ``run``; per-batch state must travel in the spec arguments.
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1, persistent: bool = False):
         if jobs < 1:
             raise ReproError("jobs must be >= 1")
         self.jobs = jobs
         self.parallel = jobs > 1 and fork_available()
+        self.persistent = persistent
+        self._executor = None
 
     # -- serial path ------------------------------------------------------
 
@@ -342,72 +352,87 @@ class TaskPool:
 
     # -- parallel path ----------------------------------------------------
 
+    def _make_executor(self, max_workers: int):
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=max_workers,
+                                   mp_context=multiprocessing.get_context("fork"),
+                                   initializer=_mark_pool_worker)
+
     def _run_parallel(self, specs: List[TaskSpec],
                       progress: Optional[Callable[[TaskEvent], None]]) -> List[TaskResult]:
-        import multiprocessing
-        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        if self.persistent:
+            if self._executor is None:
+                self._executor = self._make_executor(self.jobs)
+            return self._drain(self._executor, specs, progress)
+        executor = self._make_executor(min(self.jobs, len(specs)) or 1)
+        try:
+            return self._drain(executor, specs, progress)
+        finally:
+            executor.shutdown(wait=True)
 
-        context = multiprocessing.get_context("fork")
+    def _drain(self, executor, specs: List[TaskSpec],
+               progress: Optional[Callable[[TaskEvent], None]]) -> List[TaskResult]:
+        from concurrent.futures import FIRST_COMPLETED, wait
+
         slots: Dict[int, TaskResult] = {}
         obs_slots: Dict[int, dict] = {}
         attempts = [0] * len(specs)
         done = 0
         failure: Optional[TaskError] = None
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs)) or 1,
-                                 mp_context=context,
-                                 initializer=_mark_pool_worker) as executor:
-            pending = {executor.submit(_worker, spec): index
-                       for index, spec in enumerate(specs)}
-            for index in pending.values():
-                attempts[index] += 1
-            while pending:
-                ready, _ = wait(list(pending), return_when=FIRST_COMPLETED)
-                for future in ready:
-                    index = pending.pop(future)
-                    spec = specs[index]
-                    error = future.exception()
-                    if error is not None:
-                        # The payload itself failed to cross the pipe
-                        # (unpicklable return, dead worker): treat it like
-                        # an in-worker error.
-                        outcome = ("error", "%s: %s"
-                                   % (type(error).__name__, error),
-                                   0.0, 0, "", None)
-                    else:
-                        outcome = future.result()
-                    status, value, elapsed, pid, tb_text, obs = outcome
-                    if status == "ok":
-                        try:
-                            value = _receive_value(value)
-                        except Exception as error:
-                            status = "error"
-                            value = "%s: %s" % (type(error).__name__, error)
-                            tb_text = traceback.format_exc()
-                    ok = status == "ok"
-                    will_retry = (not ok
-                                  and attempts[index] <= spec.retries
-                                  and failure is None)
-                    self._count_attempt(status, will_retry)
-                    if ok:
-                        done += 1
-                    if progress is not None:
-                        progress(TaskEvent(spec.name, index, done, len(specs),
-                                           elapsed, ok, attempts[index],
-                                           will_retry, "" if ok else value))
-                    if ok:
-                        slots[index] = TaskResult(spec.name, value, elapsed,
-                                                  attempts[index], pid)
-                        if obs is not None:
-                            obs_slots[index] = obs
-                    elif will_retry:
-                        attempts[index] += 1
-                        pending[executor.submit(_worker, spec)] = index
-                    elif failure is None:
-                        klass = (TaskTimeout if status == "timeout"
-                                 else TaskError)
-                        failure = klass(
-                            spec.name, "task %r failed after %d attempt(s): %s"
-                            % (spec.name, attempts[index], value), tb_text)
+        pending = {executor.submit(_worker, spec): index
+                   for index, spec in enumerate(specs)}
+        for index in pending.values():
+            attempts[index] += 1
+        while pending:
+            ready, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            for future in ready:
+                index = pending.pop(future)
+                spec = specs[index]
+                error = future.exception()
+                if error is not None:
+                    # The payload itself failed to cross the pipe
+                    # (unpicklable return, dead worker): treat it like
+                    # an in-worker error.
+                    outcome = ("error", "%s: %s"
+                               % (type(error).__name__, error),
+                               0.0, 0, "", None)
+                else:
+                    outcome = future.result()
+                status, value, elapsed, pid, tb_text, obs = outcome
+                if status == "ok":
+                    try:
+                        value = _receive_value(value)
+                    except Exception as error:
+                        status = "error"
+                        value = "%s: %s" % (type(error).__name__, error)
+                        tb_text = traceback.format_exc()
+                ok = status == "ok"
+                will_retry = (not ok
+                              and attempts[index] <= spec.retries
+                              and failure is None)
+                self._count_attempt(status, will_retry)
+                if ok:
+                    done += 1
+                if progress is not None:
+                    progress(TaskEvent(spec.name, index, done, len(specs),
+                                       elapsed, ok, attempts[index],
+                                       will_retry, "" if ok else value))
+                if ok:
+                    slots[index] = TaskResult(spec.name, value, elapsed,
+                                              attempts[index], pid)
+                    if obs is not None:
+                        obs_slots[index] = obs
+                elif will_retry:
+                    attempts[index] += 1
+                    pending[executor.submit(_worker, spec)] = index
+                elif failure is None:
+                    klass = (TaskTimeout if status == "timeout"
+                             else TaskError)
+                    failure = klass(
+                        spec.name, "task %r failed after %d attempt(s): %s"
+                        % (spec.name, attempts[index], value), tb_text)
         if failure is not None:
             raise failure
         # Worker registries are per-process, so their shipped deltas must
@@ -469,6 +494,20 @@ class TaskPool:
                    progress: Optional[Callable[[TaskEvent], None]] = None) -> List[Any]:
         """``run`` but returning just the task values, in order."""
         return [result.value for result in self.run(specs, progress)]
+
+    # -- lifetime ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down a persistent executor; idempotent, serial-safe."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "TaskPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 __all__ = [

@@ -1,0 +1,81 @@
+"""restore_point_in_time error paths: every refusal is a clear
+CatalogError, never a partial restore.
+
+A small module-scoped campaign (one logical volume, four days under a
+compact GFS) provides real chains; the tests then ask for restores the
+catalog cannot honestly serve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import BackupCatalog
+from repro.catalog.records import STATUS_OBSOLETE
+from repro.errors import CatalogError
+from repro.manager import (
+    GFS,
+    CampaignDriver,
+    MediaPool,
+    restore_point_in_time,
+)
+from repro.units import MB
+from repro.workload import WorkloadGenerator
+
+from tests.conftest import make_fs
+
+DAYS = 4
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    catalog = BackupCatalog()
+    pool = MediaPool(catalog)
+    pool.add_blank(30, capacity=2 * MB)
+    driver = CampaignDriver(catalog, pool, seed=13)
+    fs = make_fs(name="home")
+    tree = WorkloadGenerator(seed=41).populate(fs, int(0.8 * MB))
+    fs.consistency_point()
+    driver.add_volume(fs, tree, "logical", GFS(4, 2))
+    driver.run(DAYS)
+    return catalog, pool
+
+
+class TestRestoreRefusals:
+    def test_unknown_fsid_refused(self, campaign):
+        catalog, pool = campaign
+        with pytest.raises(CatalogError, match="no backup of ghost:/"):
+            restore_point_in_time(catalog, pool, "ghost")
+
+    def test_unknown_subtree_refused(self, campaign):
+        catalog, pool = campaign
+        with pytest.raises(CatalogError, match="no backup"):
+            restore_point_in_time(catalog, pool, "home", subtree="/nowhere")
+
+    def test_day_before_first_full_refused(self, campaign):
+        catalog, pool = campaign
+        with pytest.raises(CatalogError,
+                           match="at or before day -1"):
+            restore_point_in_time(catalog, pool, "home", day=-1)
+
+    def test_pruned_chain_refused(self, campaign):
+        catalog, pool = campaign
+        # Knock the day-0 full out from under the incrementals: every
+        # restore that needs the chain must refuse, naming the hole.
+        full = catalog.sets_for("home")[0]
+        assert full.level == 0
+        original = full.status
+        full.status = STATUS_OBSOLETE
+        try:
+            with pytest.raises(CatalogError, match="which was pruned"):
+                restore_point_in_time(catalog, pool, "home", day=DAYS - 1)
+        finally:
+            full.status = original
+
+    def test_error_leaves_catalog_usable(self, campaign):
+        catalog, pool = campaign
+        with pytest.raises(CatalogError):
+            restore_point_in_time(catalog, pool, "ghost")
+        fs, plan = restore_point_in_time(catalog, pool, "home", day=DAYS - 1)
+        assert plan.sets
+        assert sum(1 for _ in fs.walk("/")) > 1
