@@ -408,6 +408,33 @@ def bench_parallel_run_all(jobs: int = 1) -> Dict[str, float]:
 # Fleet service plane: a small multi-tenant fleet end to end
 # ---------------------------------------------------------------------------
 
+def _fleet_smoke_spec(cartridges: int = 8):
+    """The canonical 3-tenant, 2-drive bench fleet.
+
+    ``cartridges`` is the only knob: the cold smoke bench uses 8 (its
+    three days never recycle media); the warm hot-path bench needs 24 so
+    retention recycling reaches steady state before scratch runs out.
+    """
+    from repro.fleet import FleetSpec, TenantSpec
+
+    return FleetSpec(
+        tenants=[
+            TenantSpec("acme", lane="daily", strategy="logical",
+                       schedule="gfs:4x2", retention="redundancy 2",
+                       data_bytes=300_000, seed=11, cartridges=cartridges,
+                       cartridge_capacity=2_000_000, blocks_per_disk=900),
+            TenantSpec("bolt", lane="daily", strategy="image",
+                       schedule="hanoi:3", retention="redundancy 2",
+                       data_bytes=250_000, seed=22, cartridges=cartridges,
+                       cartridge_capacity=2_000_000, blocks_per_disk=900),
+            TenantSpec("corp", lane="background", strategy="logical",
+                       schedule="gfs:4x2", retention="window 10 days",
+                       data_bytes=200_000, seed=33, cartridges=cartridges,
+                       cartridge_capacity=2_000_000, blocks_per_disk=900),
+        ],
+        drives=2, seed=4242)
+
+
 def bench_fleet_smoke() -> Dict[str, float]:
     """Init and run a 3-tenant, 2-drive fleet for three simulated days.
 
@@ -417,29 +444,17 @@ def bench_fleet_smoke() -> Dict[str, float]:
     scheduler and persistence overheads, not the dumps, dominate.  Short
     enough to be noisy, so it takes the best of two runs with garbage
     collected outside the timed region (mirroring ``bench_macro``).
+
+    This is the *cold* lifecycle number (init + first days dominate);
+    :func:`bench_fleet_hotpath` measures the warm steady state.
     """
     import gc
     import shutil
     import tempfile
 
-    from repro.fleet import FleetService, FleetSpec, TenantSpec
+    from repro.fleet import FleetService
 
-    spec = FleetSpec(
-        tenants=[
-            TenantSpec("acme", lane="daily", strategy="logical",
-                       schedule="gfs:4x2", retention="redundancy 2",
-                       data_bytes=300_000, seed=11, cartridges=8,
-                       cartridge_capacity=2_000_000, blocks_per_disk=900),
-            TenantSpec("bolt", lane="daily", strategy="image",
-                       schedule="hanoi:3", retention="redundancy 2",
-                       data_bytes=250_000, seed=22, cartridges=8,
-                       cartridge_capacity=2_000_000, blocks_per_disk=900),
-            TenantSpec("corp", lane="background", strategy="logical",
-                       schedule="gfs:4x2", retention="window 10 days",
-                       data_bytes=200_000, seed=33, cartridges=8,
-                       cartridge_capacity=2_000_000, blocks_per_disk=900),
-        ],
-        drives=2, seed=4242)
+    spec = _fleet_smoke_spec()
     seconds = float("inf")
     totals = None
     for _ in range(2):
@@ -454,6 +469,112 @@ def bench_fleet_smoke() -> Dict[str, float]:
             shutil.rmtree(root, ignore_errors=True)
     return {"seconds": seconds, "rate": totals["jobs"] / seconds,
             "unit": "jobs/s"}
+
+
+def bench_fleet_hotpath() -> Dict[str, float]:
+    """Warm steady-state fleet throughput: the daily hot path itself.
+
+    Builds the smoke fleet once, runs two warm-up days (worker-resident
+    volumes built, first full dumps behind us), then times 30 consecutive
+    ``run_day`` calls — admission, sticky-affinity dispatch against the
+    resident cache, dump deltas, retention, and the group-committed
+    catalog-journal appends with their end-of-day fsyncs.  Service
+    startup and shutdown checkpointing are deliberately outside the
+    timed region: a fleet daemon pays them once per process, not per
+    day, and ``macro.fleet.smoke`` / ``macro.fleet.scale`` already time
+    the full cold lifecycle.
+
+    The spec carries 24 cartridges per tenant so retention recycling
+    sustains the 60+ simulated days the two timed repetitions cover.
+
+    Besides jobs/s the entry reports the journal's byte economy —
+    average bytes per journal record as written (compact separators,
+    sorted keys) and the fraction saved versus Python's default
+    ``", "``/``": "`` separators — so the hot-commit encoding win is
+    tracked by the harness rather than asserted in a comment.
+    """
+    import gc
+    import shutil
+    import tempfile
+
+    from repro.fleet import FleetService
+
+    spec = _fleet_smoke_spec(cartridges=24)
+    days = 30
+    root = tempfile.mkdtemp(prefix="repro-fleet-bench-")
+    try:
+        FleetService.init_fleet(root, spec)
+        service = FleetService(root)
+        service.run_days(2)
+        seconds = float("inf")
+        for _ in range(2):
+            gc.collect()
+            start = time.perf_counter()
+            for _ in range(days):
+                service.run_day()
+            seconds = min(seconds, time.perf_counter() - start)
+        jobs = days * len(spec.tenants)
+        entry = {"seconds": seconds, "rate": jobs / seconds,
+                 "unit": "jobs/s"}
+        journal = os.path.join(root, "tenants", "acme",
+                               "catalog.json.journal")
+        if os.path.exists(journal):
+            with open(journal, "rb") as handle:
+                blob = handle.read()
+            records = [json.loads(line) for line in blob.splitlines()]
+            if records:
+                loose = sum(len(json.dumps(r, sort_keys=True)) + 1
+                            for r in records)
+                entry["journal_bytes_per_record"] = len(blob) / len(records)
+                entry["journal_compact_savings"] = 1.0 - len(blob) / loose
+        return entry
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def bench_fleet_scale(jobs: int = 1) -> Dict[str, float]:
+    """A 24-tenant, 4-drive fleet run for 14 simulated days, full cycle.
+
+    The scale complement to the hot-path bench: small per-tenant volumes
+    (300 blocks/disk) keep each dump cheap so the fleet machinery —
+    admission across four drive lanes, per-tenant journals, retention,
+    end-of-run persistence of 24 volumes and catalogs — is what's
+    measured.  Init (tenant format + populate) stays outside the timed
+    region; everything ``run_days`` does, including the final
+    checkpoint, is inside it.
+    """
+    import shutil
+    import tempfile
+
+    from repro.fleet import FleetService, FleetSpec, TenantSpec
+
+    strategies = ("logical", "image")
+    schedules = ("gfs:4x2", "hanoi:3")
+    retentions = ("redundancy 2", "window 10 days")
+    lanes = ("daily", "background")
+    tenants = [
+        TenantSpec("t%02d" % index,
+                   lane=lanes[index % 2],
+                   strategy=strategies[index % 2],
+                   schedule=schedules[(index // 2) % 2],
+                   retention=retentions[(index // 3) % 2],
+                   data_bytes=100_000 + 10_000 * (index % 8),
+                   seed=1000 + index, cartridges=20,
+                   cartridge_capacity=2_000_000, blocks_per_disk=300)
+        for index in range(24)
+    ]
+    spec = FleetSpec(tenants=tenants, drives=4, seed=7777)
+    days = 14
+    root = tempfile.mkdtemp(prefix="repro-fleet-bench-")
+    try:
+        FleetService.init_fleet(root, spec)
+        start = time.perf_counter()
+        totals = FleetService(root, jobs=jobs).run_days(days)
+        seconds = time.perf_counter() - start
+        return {"seconds": seconds, "rate": totals["jobs"] / seconds,
+                "unit": "jobs/s"}
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
 
 
 # ---------------------------------------------------------------------------
@@ -518,12 +639,15 @@ def run_harness(mode: str = "smoke", quiet: bool = True,
     else:
         report["benchmarks"]["parallel.run_all_smoke"] = bench_parallel_run_all(1)
     if mode in ("smoke", "full"):
-        note("running macro.fleet.smoke ...")
-        if profile:
-            report["benchmarks"]["macro.fleet.smoke"] = _profiled(
-                "macro.fleet.smoke", bench_fleet_smoke, profile)
-        else:
-            report["benchmarks"]["macro.fleet.smoke"] = bench_fleet_smoke()
+        fleet_benches = (("macro.fleet.smoke", bench_fleet_smoke),
+                         ("macro.fleet.hotpath", bench_fleet_hotpath),
+                         ("macro.fleet.scale", bench_fleet_scale))
+        for name, bench in fleet_benches:
+            note("running %s ..." % name)
+            if profile:
+                report["benchmarks"][name] = _profiled(name, bench, profile)
+            else:
+                report["benchmarks"][name] = bench()
     if mode == "smoke":
         macro_modes = ["smoke"]
     elif mode == "full":
@@ -569,6 +693,28 @@ def check_regression(current: Dict, baseline: Dict,
                    round(tolerance * 100))
             )
     return failures
+
+
+def fleet_speedup(report: Dict, baseline: Dict) -> Optional[float]:
+    """Hot-path fleet throughput relative to the committed fleet baseline.
+
+    Compares calibration-normalized jobs/s — ``rate * calibration`` is
+    jobs per calibration-unit, which cancels machine speed the same way
+    :func:`check_regression` does for seconds — between the current
+    ``macro.fleet.hotpath`` entry and the baseline's original
+    ``macro.fleet.smoke`` entry (the 53 jobs/s the worker-resident hot
+    path was built to beat).  Returns ``None`` when either side lacks
+    the needed entry.
+    """
+    current = report.get("benchmarks", {}).get("macro.fleet.hotpath")
+    base = baseline.get("benchmarks", {}).get("macro.fleet.smoke")
+    if not current or not base or "rate" not in current or "rate" not in base:
+        return None
+    current_norm = current["rate"] * report["calibration_seconds"]
+    base_norm = base["rate"] * baseline["calibration_seconds"]
+    if base_norm <= 0:
+        return None
+    return current_norm / base_norm
 
 
 def merge_baseline(existing: Dict, report: Dict) -> Dict:
@@ -632,6 +778,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="with --jobs N: exit 1 unless the parallel grid"
                              " is at least this many times faster than serial")
+    parser.add_argument("--min-fleet-speedup", type=float, default=None,
+                        help="exit 1 unless macro.fleet.hotpath is at least"
+                             " this many times the baseline macro.fleet.smoke"
+                             " rate (calibration-normalized jobs/s)")
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline or default_baseline_path()
@@ -652,6 +802,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.min_speedup is not None and speedup < args.min_speedup:
             print("speedup below required %.2fx" % args.min_speedup)
             return 1
+
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as handle:
+            _baseline = json.load(handle)
+        ratio = fleet_speedup(report, _baseline)
+        if ratio is not None:
+            print("fleet hot-path speedup vs committed macro.fleet.smoke"
+                  " baseline: %.2fx" % ratio)
+            if (args.min_fleet_speedup is not None
+                    and ratio < args.min_fleet_speedup):
+                print("fleet speedup below required %.2fx"
+                      % args.min_fleet_speedup)
+                return 1
+        elif args.min_fleet_speedup is not None:
+            print("fleet speedup gate needs macro.fleet.hotpath in the report"
+                  " and macro.fleet.smoke in the baseline")
+            return 1
+    elif args.min_fleet_speedup is not None:
+        print("no baseline at %s; cannot gate fleet speedup" % baseline_path)
+        return 1
 
     if args.output:
         with open(args.output, "w") as handle:
@@ -690,12 +860,15 @@ if __name__ == "__main__":
 __all__ = [
     "BASELINE_NAME",
     "FULLSCALE_DATA_CAP",
+    "bench_fleet_hotpath",
+    "bench_fleet_scale",
     "bench_fleet_smoke",
     "bench_obs_null",
     "bench_parallel_run_all",
     "calibrate",
     "check_regression",
     "default_baseline_path",
+    "fleet_speedup",
     "format_report",
     "merge_baseline",
     "run_harness",

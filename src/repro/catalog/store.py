@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.errors import CatalogError
 from repro.backup.logical.dumpdates import DumpDates
+from repro.catalog.journal import COMPACT_AFTER, CatalogJournal, journal_path
 from repro.catalog.lock import FileLock
 from repro.catalog.records import (
     STATUS_OBSOLETE,
@@ -49,8 +50,53 @@ class BackupCatalog:
         self.next_set = 1
         self.next_cartridge = 1
         self.dumpdates = DumpDates()
+        # Delta tracking: which entities changed since the last durable
+        # commit.  Mutators mark, :meth:`commit_dirty` flushes — as an
+        # O(delta) journal append in journal mode, a full image write
+        # otherwise.
+        self._journal: Optional[CatalogJournal] = None
+        self._dirty_sets: set = set()
+        self._dirty_media: set = set()
+        self._dirty_policies: set = set()
+        self._dirty_meta = False
 
     # -- persistence -------------------------------------------------------
+
+    def use_journal(self, compact_after: int = COMPACT_AFTER) -> "BackupCatalog":
+        """Switch the commit path to append-only journal mode.
+
+        :meth:`commit_dirty` then appends only the changed records
+        (fsync'd, under the lock) instead of rewriting the image;
+        :meth:`save` becomes *compaction*: full image, then journal
+        truncate.  ``compact_after`` bounds the journal — a commit that
+        finds at least that many records folds into the image instead.
+        """
+        if not self.path:
+            raise CatalogError("an in-memory catalog cannot journal")
+        if self._journal is None:
+            self._journal = CatalogJournal(journal_path(self.path))
+        self._compact_after = compact_after
+        return self
+
+    @property
+    def dirty(self) -> bool:
+        """Anything to commit since the last durable write?"""
+        return bool(self._dirty_sets or self._dirty_media
+                    or self._dirty_policies or self._dirty_meta)
+
+    def touch_set(self, set_id: str) -> None:
+        """Mark a set record changed (mutated outside the catalog API)."""
+        self._dirty_sets.add(set_id)
+
+    def touch_media(self, label: str) -> None:
+        """Mark a cartridge record changed (allocation, recycle)."""
+        self._dirty_media.add(label)
+
+    def _clear_dirty(self) -> None:
+        self._dirty_sets.clear()
+        self._dirty_media.clear()
+        self._dirty_policies.clear()
+        self._dirty_meta = False
 
     def save(self) -> None:
         """Write-temp-then-rename under the catalog's file lock; a no-op
@@ -59,11 +105,57 @@ class BackupCatalog:
         The rename is atomic against readers, but two concurrent writers
         (a fleet daemon and a CLI invocation, say) would race their temp
         files and silently drop one commit — the lock serialises them.
+        In journal mode this is *compaction*: the image write is followed
+        by a journal truncate (in that order — a crash in between leaves
+        idempotent upserts that replay harmlessly over the new image).
         """
         if not self.path:
             return
         with self._lock():
             self._save_unlocked()
+            if self._journal is not None:
+                self._journal.clear()
+        self._clear_dirty()
+
+    def commit_dirty(self, sync: bool = True) -> int:
+        """Durably commit the changed entities; returns records written.
+
+        Journal mode appends one upsert per dirty entity (sorted by id,
+        so serial and parallel runs write byte-identical journals) with
+        a single fsync.  Without a journal this falls back to a full
+        :meth:`save`.  A no-op when nothing is dirty.  ``sync=False``
+        defers the fsync to :meth:`sync_journal` so multi-catalog
+        callers can group their syncs.
+        """
+        if not self.path or not self.dirty:
+            return 0
+        if self._journal is None:
+            self.save()
+            return 1
+        if self._journal.records >= self._compact_after:
+            self.save()  # fold the grown journal back into the image
+            return 1
+        records = []
+        if self._dirty_meta:
+            records.append({"op": "meta", "next_set": self.next_set,
+                            "next_cartridge": self.next_cartridge})
+        for set_id in sorted(self._dirty_sets):
+            records.append({"op": "set", "data": self.sets[set_id].to_dict()})
+        for label in sorted(self._dirty_media):
+            records.append({"op": "media",
+                            "data": self.media[label].to_dict()})
+        for key in sorted(self._dirty_policies):
+            records.append({"op": "policy", "key": key,
+                            "text": self.policies[key]})
+        with self._lock():
+            self._journal.append(records, sync=sync)
+        self._clear_dirty()
+        return len(records)
+
+    def sync_journal(self) -> None:
+        """fsync the journal after ``commit_dirty(sync=False)``."""
+        if self._journal is not None:
+            self._journal.sync()
 
     def _lock(self) -> FileLock:
         """The inter-process lock guarding this catalog's commits."""
@@ -80,8 +172,27 @@ class BackupCatalog:
         }
         temp = self.path + ".tmp"
         with open(temp, "w") as handle:
-            json.dump(document, handle, indent=1)
+            # Compact separators: the image sits on the commit path (and
+            # under the determinism byte-diff), so no pretty-printing.
+            json.dump(document, handle, sort_keys=True,
+                      separators=(",", ":"))
         os.replace(temp, self.path)
+
+    def _apply_journal(self, records: List[Dict]) -> None:
+        """Fold replayed journal upserts over the loaded image."""
+        for record in records:
+            op = record["op"]
+            if op == "set":
+                backup_set = BackupSet.from_dict(record["data"])
+                self.sets[backup_set.set_id] = backup_set
+            elif op == "media":
+                cartridge = CartridgeRecord.from_dict(record["data"])
+                self.media[cartridge.label] = cartridge
+            elif op == "policy":
+                self.policies[record["key"]] = record["text"]
+            elif op == "meta":
+                self.next_set = record["next_set"]
+                self.next_cartridge = record["next_cartridge"]
 
     @classmethod
     def load(cls, path: str) -> "BackupCatalog":
@@ -109,6 +220,13 @@ class BackupCatalog:
             cartridge = CartridgeRecord.from_dict(raw)
             catalog.media[cartridge.label] = cartridge
         catalog.policies = dict(document.get("policies", {}))
+        # A journal next to the image means the last writer crashed (or
+        # is mid-run): replay its upserts — torn tails are discarded by
+        # CatalogJournal.load — to recover the committed state.
+        sidecar = CatalogJournal(journal_path(path))
+        replayed = sidecar.load()
+        if replayed:
+            catalog._apply_journal(replayed)
         catalog._rebuild_dumpdates()
         return catalog
 
@@ -143,6 +261,8 @@ class BackupCatalog:
             raise CatalogError("cartridge %r already registered" % label)
         record = CartridgeRecord(label, capacity)
         self.media[label] = record
+        self._dirty_media.add(label)
+        self._dirty_meta = True
         return record
 
     def cartridge_record(self, label: str) -> CartridgeRecord:
@@ -193,6 +313,8 @@ class BackupCatalog:
             cartridges=list(cartridges),
         )
         self.sets[set_id] = backup_set
+        self._dirty_sets.add(set_id)
+        self._dirty_meta = True
         if strategy == STRATEGY_LOGICAL:
             # Idempotent when the dump already recorded through
             # ``self.dumpdates`` (same level, same date).
@@ -319,6 +441,7 @@ class BackupCatalog:
                 )
         for set_id in retiring:
             self.sets[set_id].status = STATUS_OBSOLETE
+            self._dirty_sets.add(set_id)
         if save:
             self.save()
 
@@ -349,6 +472,7 @@ class BackupCatalog:
     def set_policy(self, fsid: str, subtree: str, text: str,
                    save: bool = True) -> None:
         self.policies[_policy_key(fsid, subtree)] = text
+        self._dirty_policies.add(_policy_key(fsid, subtree))
         if save:
             self.save()
 

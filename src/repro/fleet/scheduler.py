@@ -52,7 +52,8 @@ class Job:
     """One queued unit of work (a dump or a restore for one tenant)."""
 
     __slots__ = ("job_id", "tenant", "kind", "lane", "day", "payload",
-                 "submit_tick", "start_tick", "end_tick", "drive")
+                 "submit_tick", "start_tick", "end_tick", "drive",
+                 "affinity")
 
     def __init__(self, job_id: str, tenant: str, kind: str, lane: str,
                  day: int, submit_tick: int,
@@ -71,6 +72,8 @@ class Job:
         self.start_tick: Optional[int] = None
         self.end_tick: Optional[int] = None
         self.drive: Optional[int] = None
+        #: Worker lane this tenant's state lives on (sticky affinity).
+        self.affinity: Optional[int] = None
 
     @property
     def wait_ticks(self) -> Optional[int]:
@@ -137,6 +140,11 @@ class FleetScheduler:
         self.events: List[Dict] = []
         self.tick = 0
         self._completed_waits: List[int] = []
+        # Sticky tenant -> worker-lane map.  Worker lanes are numbered
+        # [0, drives.count) — a property of the *fleet*, never of
+        # ``--jobs`` — so the assignment (and the events logging it) is
+        # identical however many OS processes actually serve the lanes.
+        self.affinity: Dict[str, int] = {}
 
     # -- event log ---------------------------------------------------------
 
@@ -190,13 +198,40 @@ class FleetScheduler:
                 break
             batch.extend(self._admit_lane(lane, budget - len(batch),
                                           admitted_tenants))
+        taken: set = set()
         for job in batch:
             job.start_tick = self.tick
             job.drive = self.drives.reserve(job.job_id)
+            job.affinity = self._assign_affinity(job, taken)
             self.running[job.job_id] = job
-            self._log("start", job, drive=job.drive,
+            self._log("start", job, drive=job.drive, worker=job.affinity,
                       wait_ticks=job.wait_ticks)
         return batch
+
+    def _assign_affinity(self, job: Job, taken: set) -> int:
+        """The worker lane this job runs on — sticky per tenant.
+
+        A tenant keeps the lane its state already lives on unless another
+        job in this batch claimed it first (two tenants can share a
+        sticky lane; batches cannot).  Then the job *rebalances* to the
+        lowest lane no batch-mate is using — the lane that would
+        otherwise sit idle this barrier frame — and the tenant's state
+        follows it there.  Every (re)assignment is logged, so lane
+        placement is part of the byte-compared event stream.  A batch
+        never exceeds the free-drive count, which never exceeds the lane
+        count, so an idle lane always exists.
+        """
+        sticky = self.affinity.get(job.tenant)
+        if sticky is not None and sticky not in taken:
+            taken.add(sticky)
+            return sticky
+        lane = next(index for index in range(self.drives.count)
+                    if index not in taken)
+        taken.add(lane)
+        self.affinity[job.tenant] = lane
+        self._log("affinity", job, worker=lane,
+                  rebalanced=sticky is not None)
+        return lane
 
     def _admit_lane(self, lane: str, budget: int,
                     admitted_tenants: set) -> List[Job]:

@@ -8,12 +8,15 @@ layout) and advances it through simulated days.  Each day:
    along with any ad-hoc jobs queued via the API or ``repro fleet
    submit``;
 2. the queue drains in **batch barriers**: the scheduler admits a batch
-   onto the free drives, the batch executes on a
-   :class:`~repro.parallel.pool.TaskPool` (the same
-   :func:`~repro.manager.campaign.run_volume_day` unit the campaign
-   driver uses), and the parent commits every outcome to the owning
-   tenant's catalog in admission order before the next tick;
-3. retention runs per tenant and everything is persisted.
+   onto the free drives (each job carrying its tenant's sticky worker
+   lane), the batch executes on a
+   :class:`~repro.parallel.pool.TaskPool` with lane routing
+   (:func:`~repro.manager.campaign.run_tenant_day_resident` against the
+   worker-resident volume), and the parent applies every returned delta
+   to the owning tenant's catalog in admission order before the next
+   tick;
+3. retention runs per tenant and the day's catalog mutations are
+   journaled (append + fsync); volumes pickle only when dirty and due.
 
 Determinism contract: job payloads (bytes, files, blocks, simulated
 times) are pure functions of (spec, seed, day); admission order is a
@@ -46,7 +49,10 @@ from repro.fleet.tenant import (
     Tenant,
     load_fleet_spec,
 )
-from repro.manager.campaign import restore_point_in_time, run_volume_day
+from repro.manager.campaign import (
+    restore_point_in_time,
+    run_tenant_day_resident,
+)
 from repro.manager.retention import prune
 from repro.obs.export import export_chrome_trace
 from repro.obs.metrics import REGISTRY
@@ -74,21 +80,39 @@ def _default_state() -> Dict:
         "pending": [],
         "recent": [],
         "drr": {"cursors": {}, "deficits": {}},
+        "affinity": {},
     }
 
 
 class FleetService:
-    """Run a fleet root through simulated days; everything on disk."""
+    """Run a fleet root through simulated days; everything on disk.
 
-    def __init__(self, root: str, jobs: int = 1):
+    Tenant state is **worker-resident**: a tenant's volume ships to the
+    worker process serving its sticky scheduler lane once, stays pinned
+    there (:mod:`repro.parallel.pool`'s resident cache, keyed by tenant
+    and epoch), and subsequent jobs send only a descriptor — the worker
+    ages and dumps in place and returns a compact delta.  The parent's
+    copy of a resident volume is deliberately stale between checkpoints;
+    everything the parent decides with (admission, retention, restores,
+    effective dump levels) reads the catalog and the kept-snapshot
+    mirror, which the deltas keep current.  ``checkpoint_days > 0``
+    additionally syncs and pickles dirty volumes every N days inside
+    :meth:`run_days`; the catalog journal makes the per-day commits
+    durable either way.
+    """
+
+    def __init__(self, root: str, jobs: int = 1, checkpoint_days: int = 0):
         self.root = root
         self.jobs = jobs
+        self.checkpoint_days = checkpoint_days
         self.spec = load_fleet_spec(self.spec_path(root))
         self.state = self._load_state()
         self.tenants: Dict[str, Tenant] = {}
         for spec in self.spec.tenants:
+            # Lazy: catalogs, media, and volumes load on first touch, so
+            # a service fronting hundreds of tenants starts in O(spec).
             tenant = Tenant(spec, self.tenant_root(root, spec.name))
-            self.tenants[spec.name] = tenant.load()
+            self.tenants[spec.name] = tenant
         self.drives = DriveTable(self.spec.drives)
         self.scheduler = FleetScheduler(self.drives,
                                         quantum=self.spec.quantum)
@@ -98,7 +122,12 @@ class FleetService:
             self.scheduler.cursors[lane] = cursor
         for lane, deficits in drr.get("deficits", {}).items():
             self.scheduler.deficits[lane].update(deficits)
+        for name, lane in self.state.get("affinity", {}).items():
+            self.scheduler.affinity[name] = int(lane)
         self.task_pool = TaskPool(jobs, persistent=True)
+        # executor index -> {tenant name: epoch} — which worker process
+        # holds which tenant's volume resident, as the parent last saw.
+        self._residency: Dict[int, Dict[str, int]] = {}
 
     # -- paths -------------------------------------------------------------
 
@@ -145,6 +174,7 @@ class FleetService:
 
     def _save_state(self) -> None:
         self.state["tick"] = self.scheduler.tick
+        self.state["affinity"] = dict(self.scheduler.affinity)
         self.state["drr"] = {
             "cursors": dict(self.scheduler.cursors),
             "deficits": {lane: dict(d)
@@ -188,17 +218,25 @@ class FleetService:
         """Advance the whole fleet ``days`` simulated days."""
         totals = {"days": 0, "jobs": 0, "bytes_to_tape": 0, "retired": 0}
         try:
-            for _ in range(days):
+            for count in range(1, days + 1):
                 day_stats = self.run_day()
                 totals["days"] += 1
                 totals["jobs"] += day_stats["jobs"]
                 totals["bytes_to_tape"] += day_stats["bytes_to_tape"]
                 totals["retired"] += day_stats["retired"]
+                if (self.checkpoint_days
+                        and count % self.checkpoint_days == 0):
+                    self._checkpoint()
+            # Workers die with the pool below; pull every current
+            # resident home first so the parent's volumes are whole.
+            self._sync_residents()
         finally:
             self.task_pool.close()
+            if self.task_pool.parallel:
+                self._residency.clear()
         self._append_events()
         for tenant in self.tenants.values():
-            tenant.save_state()
+            tenant.save_state(force=False)
         self._save_state()
         return totals
 
@@ -230,10 +268,24 @@ class FleetService:
                          "target_day": entry.get("day")}))
         stats = self._drain(day)
         retired = 0
+        committed = []
         for spec in self.spec.tenants:
             tenant = self.tenants[spec.name]
-            outcome = prune(tenant.catalog, tenant.pool, now_day=day)
-            retired += sum(len(ids) for ids in outcome.values())
+            outcome = prune(tenant.catalog, tenant.pool, now_day=day,
+                            save=False)
+            if any(outcome.values()):
+                tenant.media_dirty = True
+                retired += sum(len(ids) for ids in outcome.values())
+            # Durability point for the day: everything this day changed
+            # in the catalog goes to the journal in one append per
+            # tenant; the fsyncs run back to back below (group commit
+            # across tenants — one filesystem transaction, not one per
+            # catalog).
+            if tenant._catalog is not None and tenant._catalog.dirty:
+                tenant._catalog.commit_dirty(sync=False)
+                committed.append(tenant._catalog)
+        for catalog in committed:
+            catalog.sync_journal()
         stats["retired"] = retired
         self.state["day"] = day + 1
         return stats
@@ -265,12 +317,91 @@ class FleetService:
         self._sample_counters()
         return stats
 
+    # -- worker residency --------------------------------------------------
+
+    def _resident_key(self, name: str) -> str:
+        """Resident-cache key: root-qualified so two services in one
+        process (serial runs share the parent's cache) never collide."""
+        return "%s:%s" % (os.path.abspath(self.root), name)
+
+    def _ship_bundle(self, name: str, lane: int) -> Optional[Dict]:
+        """The volume bundle to send with a job, or ``None`` if the
+        target worker already holds it resident at the current epoch.
+
+        A tenant rebalanced onto a lane served by a *different* worker
+        process migrates: its state is fetched home from the old worker,
+        the epoch is bumped so the old copy can never be trusted again,
+        and the fresh bundle ships to the new worker.
+        """
+        tenant = self.tenants[name]
+        index = self.task_pool.executor_index(lane)
+        held = self._residency.get(index, {}).get(name)
+        if held == tenant.epoch:
+            return None
+        for other, holdings in self._residency.items():
+            if other != index and name in holdings:
+                self._sync_resident(name)
+                tenant.bump_epoch()
+                break
+        for holdings in self._residency.values():
+            holdings.pop(name, None)
+        volume = tenant.volume
+        bundle = {"fs": volume.fs, "tree": volume.tree,
+                  "kept_snapshots": volume.kept_snapshots}
+        self._residency.setdefault(index, {})[name] = tenant.epoch
+        return bundle
+
+    def _sync_resident(self, name: str) -> None:
+        """Pull ``name``'s resident volume back into the parent copy."""
+        if not self.task_pool.parallel:
+            return
+        tenant = self.tenants[name]
+        for index, holdings in self._residency.items():
+            if holdings.get(name) != tenant.epoch:
+                continue
+            bundle = self.task_pool.fetch_resident(
+                self._resident_key(name), tenant.epoch, index)
+            if bundle is None:
+                raise FleetError(
+                    "worker %d lost resident state for tenant %r"
+                    % (index, name))
+            volume = tenant.volume
+            volume.fs = bundle["fs"]
+            volume.tree = bundle["tree"]
+            volume.kept_snapshots = dict(bundle["kept_snapshots"])
+            return
+
+    def _sync_residents(self) -> None:
+        for index in sorted(self._residency):
+            for name in list(self._residency[index]):
+                self._sync_resident(name)
+
+    def _checkpoint(self) -> None:
+        """Periodic durability for volumes: sync dirty residents home
+        and pickle them, without invalidating worker copies."""
+        for spec in self.spec.tenants:
+            tenant = self.tenants[spec.name]
+            if tenant.volume_dirty and tenant.volume_loaded():
+                self._sync_resident(spec.name)
+                tenant.save_volume()
+
+    def invalidate_tenant(self, name: str) -> int:
+        """Sync ``name`` home and bump its epoch, orphaning every worker
+        copy; the next job re-ships.  Returns the new epoch."""
+        self._sync_resident(name)
+        for holdings in self._residency.values():
+            holdings.pop(name, None)
+        return self.tenants[name].bump_epoch()
+
+    # -- dump batches ------------------------------------------------------
+
     def _run_dumps(self, jobs: List[Job], day: int) -> Dict[str, Dict]:
-        """Execute a batch's dump jobs on the worker pool; commit in
-        admission order."""
+        """Execute a batch's dump jobs on the worker pool; commit the
+        returned deltas in admission order."""
         if not jobs:
             return {}
         specs = []
+        lanes = []
         staged = []
         for job in jobs:
             tenant = self.tenants[job.tenant]
@@ -290,25 +421,32 @@ class FleetService:
                 mutation = MutationConfig(
                     seed=self.spec.seed + 1009 * day
                     + 97 * job.payload["tenant_index"])
-            specs.append(TaskSpec(job_name, run_volume_day, (
-                volume.fs, volume.tree, volume.strategy, volume.subtree,
-                level, drive, job_name, snapshot_name, base_snapshot,
-                mutation, None,
+            shipped = self._ship_bundle(job.tenant, job.affinity)
+            # retries=0: the job mutates the resident volume in place,
+            # so a re-run against already-aged state is not idempotent.
+            specs.append(TaskSpec(job_name, run_tenant_day_resident, (
+                self._resident_key(job.tenant), tenant.epoch, shipped,
+                volume.strategy, volume.subtree, level, drive, job_name,
+                snapshot_name, base_snapshot, mutation,
                 (copy.deepcopy(tenant.catalog.dumpdates)
                  if volume.strategy == "logical" else None),
                 None, None,
-            )))
+            ), retries=0))
+            lanes.append(job.affinity)
             staged.append((job, tenant, level, snapshot_name, base_snapshot,
                            drive))
-        values = self.task_pool.map_values(specs)
+        values = self.task_pool.map_values(specs, lanes=lanes)
         outcomes: Dict[str, Dict] = {}
         for (job, tenant, level, snapshot_name, base_snapshot,
-             drive), value in zip(staged, values):
-            fs, tree, worker_drive, payload = value
+             drive), delta in zip(staged, values):
+            payload = delta["payload"]
             volume = tenant.volume
-            volume.fs = fs
-            volume.tree = tree
-            tenant.pool.adopt_cartridges(worker_drive)
+            written = delta["written"]
+            stacker = drive.stacker
+            stacker.cartridges[:len(written)] = written
+            stacker.next_slot = delta["next_slot"]
+            drive.media_changes = delta["media_changes"]
+            tenant.pool.adopt_cartridges(drive)
             backup_set = tenant.catalog.record_set(
                 fsid=volume.fsid, subtree=volume.subtree,
                 strategy=volume.strategy, level=level, day=day,
@@ -319,10 +457,12 @@ class FleetService:
                 files=payload["files"], blocks=payload["blocks"],
                 save=False,
             )
-            tenant.pool.commit_job(worker_drive, backup_set)
-            if volume.strategy == "image":
-                volume.supersede_snapshots(level, snapshot_name,
-                                           payload["date"])
+            tenant.pool.commit_job(drive, backup_set)
+            # The worker's kept map is authoritative (it deleted the
+            # superseded snapshots in place); mirror it for level math.
+            volume.kept_snapshots = dict(delta["kept_snapshots"])
+            tenant.volume_dirty = True
+            tenant.media_dirty = True
             tenant.dumps += 1
             tenant.bytes_to_tape += payload["bytes_to_tape"]
             outcomes[job.job_id] = {
@@ -339,8 +479,10 @@ class FleetService:
         against the tenant's media; no worker shipping needed)."""
         tenant = self.tenants[job.tenant]
         target_day = job.payload.get("target_day")
+        # fsid == tenant name by construction; going through the catalog
+        # keeps restores from pulling the volume pickle into memory.
         fs, plan = restore_point_in_time(
-            tenant.catalog, tenant.pool, tenant.volume.fsid,
+            tenant.catalog, tenant.pool, tenant.name,
             day=target_day, name="restore.%s" % job.job_id)
         files = sum(1 for _ in fs.walk("/"))
         return {"status": "ok", "sets": len(plan.sets),

@@ -187,14 +187,36 @@ def load_fleet_spec(path: str) -> FleetSpec:
 
 
 class Tenant:
-    """One tenant's live state: catalog, media pool, and volume."""
+    """One tenant's live state: catalog, media pool, and volume.
+
+    All three pieces load **lazily**: a fleet service holding hundreds of
+    tenants pays for a volume unpickle only when a job actually needs the
+    volume, and a status endpoint touching only catalogs never loads
+    media bytes at all.
+
+    Dirty tracking mirrors that split.  ``volume_dirty`` / ``media_dirty``
+    are set by whoever mutates the piece; the catalog tracks its own
+    dirty records.  :meth:`save_state` with ``force=False`` writes only
+    dirty pieces — a clean (paused, no-op) tenant costs nothing to
+    checkpoint.
+
+    ``epoch`` versions the volume state for worker-resident caching: a
+    worker may keep the tenant's volume in memory across jobs keyed by
+    ``(name, epoch)``, so bumping the epoch (state replaced or reloaded
+    outside the worker's sight) invalidates every cached copy at once.
+    The epoch is in-memory only — a fresh service starts at 0 with no
+    workers holding residents, so it never needs to be persisted.
+    """
 
     def __init__(self, spec: TenantSpec, root: str):
         self.spec = spec
         self.root = root
-        self.catalog: Optional[BackupCatalog] = None
-        self.pool: Optional[MediaPool] = None
-        self.volume: Optional[CampaignVolume] = None
+        self._catalog: Optional[BackupCatalog] = None
+        self._pool: Optional[MediaPool] = None
+        self._volume: Optional[CampaignVolume] = None
+        self.epoch = 0
+        self.volume_dirty = False
+        self.media_dirty = False
         # Dumps completed / bytes shipped since this object was created
         # (status-document counters; durable totals live in the catalog).
         self.dumps = 0
@@ -218,6 +240,52 @@ class Tenant:
     def volume_path(self) -> str:
         return os.path.join(self.root, "volume.pkl")
 
+    # -- lazy state --------------------------------------------------------
+
+    @property
+    def catalog(self) -> BackupCatalog:
+        if self._catalog is None:
+            catalog = BackupCatalog.load(self.catalog_path)
+            catalog.use_journal()
+            self._catalog = catalog
+        return self._catalog
+
+    @property
+    def pool(self) -> MediaPool:
+        if self._pool is None:
+            self._pool = MediaPool.load(self.catalog, self.media_path)
+        return self._pool
+
+    @property
+    def volume(self) -> CampaignVolume:
+        if self._volume is None:
+            with open(self.volume_path, "rb") as handle:
+                bundle = pickle.load(handle)
+            volume = CampaignVolume(
+                bundle["fs"], bundle["tree"], self.spec.strategy,
+                parse_schedule(self.spec.schedule))
+            volume.kept_snapshots = bundle["kept_snapshots"]
+            self._volume = volume
+        return self._volume
+
+    def volume_loaded(self) -> bool:
+        return self._volume is not None
+
+    def bump_epoch(self) -> int:
+        """Invalidate every worker-resident copy of this volume."""
+        self.epoch += 1
+        return self.epoch
+
+    def drop_volume(self) -> None:
+        """Forget the in-parent volume object (reload lazily on demand).
+
+        Callers must bump the epoch first if worker-resident copies
+        exist; the dropped parent copy and the residents would otherwise
+        silently diverge from the reloaded one.
+        """
+        self._volume = None
+        self.volume_dirty = False
+
     # -- lifecycle ---------------------------------------------------------
 
     def create(self) -> "Tenant":
@@ -230,38 +298,50 @@ class Tenant:
         fs = WaflFilesystem.format(raid)
         generator = WorkloadGenerator(seed=spec.seed)
         tree = generator.populate(fs, spec.data_bytes)
-        self.catalog = BackupCatalog(self.catalog_path)
-        self.pool = MediaPool(self.catalog)
-        self.pool.add_blank(spec.cartridges,
-                            capacity=spec.cartridge_capacity)
-        self.catalog.set_policy(spec.name, "/", spec.retention, save=False)
-        self.volume = CampaignVolume(
+        self._catalog = BackupCatalog(self.catalog_path)
+        self._catalog.use_journal()
+        self._pool = MediaPool(self._catalog)
+        self._pool.add_blank(spec.cartridges,
+                             capacity=spec.cartridge_capacity)
+        self._catalog.set_policy(spec.name, "/", spec.retention, save=False)
+        self._volume = CampaignVolume(
             fs, tree, spec.strategy, parse_schedule(spec.schedule))
         self.save_state()
         return self
 
     def load(self) -> "Tenant":
         """Rehydrate catalog, media, and volume from the tenant dir."""
-        self.catalog = BackupCatalog.load(self.catalog_path)
-        self.pool = MediaPool.load(self.catalog, self.media_path)
-        with open(self.volume_path, "rb") as handle:
-            bundle = pickle.load(handle)
-        self.volume = CampaignVolume(
-            bundle["fs"], bundle["tree"], self.spec.strategy,
-            parse_schedule(self.spec.schedule))
-        self.volume.kept_snapshots = bundle["kept_snapshots"]
+        self.catalog, self.pool, self.volume  # noqa: B018 - force the loads
         return self
 
     def load_catalog(self) -> "Tenant":
         """Load just the catalog — enough for a status summary, without
         paying to unpickle the tenant's whole volume."""
-        self.catalog = BackupCatalog.load(self.catalog_path)
+        self.catalog
         return self
 
-    def save_state(self) -> None:
-        """Persist catalog, media bytes, and the pickled volume bundle."""
-        self.catalog.save()
-        self.pool.save(self.media_path)
+    def save_state(self, force: bool = True) -> None:
+        """Persist catalog, media bytes, and the pickled volume bundle.
+
+        ``force=False`` is the hot-path form: each piece is written only
+        if dirty — the catalog as a journal append (or a compaction when
+        one is due), media and volume only when a job actually touched
+        them.  A clean tenant does no I/O at all.  ``force=True`` writes
+        everything unconditionally (initial creation, explicit
+        checkpoints), loading any piece not yet resident.
+        """
+        if force:
+            self.catalog.save()
+        elif self._catalog is not None and self._catalog.dirty:
+            self._catalog.commit_dirty()
+        if force or self.media_dirty:
+            self.pool.save(self.media_path)
+            self.media_dirty = False
+        if force or self.volume_dirty:
+            self.save_volume()
+
+    def save_volume(self) -> None:
+        """Checkpoint just the volume bundle (temp-then-rename)."""
         bundle = {
             "fs": self.volume.fs,
             "tree": self.volume.tree,
@@ -271,6 +351,7 @@ class Tenant:
         with open(temp, "wb") as handle:
             pickle.dump(bundle, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(temp, self.volume_path)
+        self.volume_dirty = False
 
     # -- status ------------------------------------------------------------
 

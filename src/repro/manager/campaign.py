@@ -101,6 +101,100 @@ def run_volume_day(
     return fs, tree, drive, payload
 
 
+def run_tenant_day_resident(
+    tenant_name: str,
+    epoch: int,
+    shipped: Optional[Dict],
+    strategy: str,
+    subtree: str,
+    level: int,
+    drive,
+    job_name: str,
+    snapshot_name: Optional[str],
+    base_snapshot: Optional[str],
+    mutation: Optional[MutationConfig],
+    dumpdates,
+    costs: Optional[CostModel],
+    profile: Optional[HardwareProfile],
+):
+    """One tenant-day against **worker-resident** volume state.
+
+    The successor to :func:`run_volume_day` for the fleet hot path: the
+    volume (``fs``, ``tree``, kept snapshots) stays pinned in the worker
+    process between jobs under ``(tenant_name, epoch)``
+    (:mod:`repro.parallel.pool`'s resident cache), so a job normally
+    ships only this descriptor — the full ``shipped`` bundle travels
+    once, when the worker has no resident copy (first job, or the epoch
+    was bumped).  The return value is a compact delta, not the state:
+    the dump payload, the written cartridge prefix, and the kept-snapshot
+    map.  Aging, dumping, and image-snapshot supersession all happen *in
+    place* in the worker.
+
+    On the serial path this runs in the parent against the parent's own
+    objects, so every "ship" is a reference pass and every delta
+    application a no-op rebind — which is what keeps ``--jobs 1`` and
+    ``--jobs N`` byte-identical.
+    """
+    from repro.parallel.pool import resident_lookup, resident_store
+
+    if shipped is not None:
+        # A shipped bundle always wins: the parent only ships when it
+        # believes this worker's copy is absent or stale (epoch bump),
+        # and in serial runs it also paves over leftovers from an
+        # earlier service instance on the same root.
+        resident = shipped
+        resident_store(tenant_name, epoch, resident)
+    else:
+        resident = resident_lookup(tenant_name, epoch)
+        if resident is None:
+            raise CatalogError(
+                "worker has no resident state for %r at epoch %d and the"
+                " parent shipped none" % (tenant_name, epoch))
+    fs = resident["fs"]
+    tree = resident["tree"]
+    kept = resident["kept_snapshots"]
+    if mutation is not None:
+        apply_mutations(fs, tree, mutation)
+    run = TimedRun(profile)
+    engine = build_dump_engine(
+        fs, drive, strategy, level=level, subtree=subtree,
+        dumpdates=dumpdates, snapshot_name=snapshot_name,
+        base_snapshot=base_snapshot, costs=costs,
+    )
+    job = run.add_job(job_name, engine)
+    run.run()
+    data = job.data
+    if strategy == STRATEGY_LOGICAL:
+        date = data.date
+    else:
+        record = fs.fsinfo.find_snapshot(snapshot_name)
+        date = record.created if record else 0
+        # Supersede in place: the worker owns the live filesystem, so
+        # retired dump snapshots are deleted here, not in the parent.
+        for old_level in list(kept):
+            if old_level >= level:
+                old_name, _date = kept.pop(old_level)
+                fs.snapshot_delete(old_name)
+        kept[level] = (snapshot_name, date)
+    payload = {
+        "name": job_name,
+        "date": date,
+        "start": job.start,
+        "end": job.end,
+        "bytes_to_tape": data.bytes_to_tape,
+        "files": data.files,
+        "blocks": data.blocks,
+    }
+    stacker = drive.stacker
+    return {
+        "payload": payload,
+        "next_slot": stacker.next_slot,
+        "written": stacker.cartridges[:stacker.next_slot],
+        "media_changes": drive.media_changes,
+        "kept_snapshots": dict(kept),
+    }
+
+
 class CampaignVolume:
     """One volume enrolled in a campaign."""
 
@@ -416,5 +510,6 @@ __all__ = [
     "CampaignVolume",
     "DAILY_SNAPSHOT",
     "restore_point_in_time",
+    "run_tenant_day_resident",
     "run_volume_day",
 ]

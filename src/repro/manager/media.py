@@ -154,8 +154,10 @@ class MediaPool:
             record.status = MEDIA_ALLOCATED
             record.set_id = backup_set.set_id
             record.used = cartridge.used
+            self.catalog.touch_media(cartridge.label)
             labels.append(cartridge.label)
         backup_set.cartridges = labels
+        self.catalog.touch_set(backup_set.set_id)
         return labels
 
     def release_drive(self, drive: TapeDrive) -> None:
@@ -205,6 +207,7 @@ class MediaPool:
             record.status = MEDIA_SCRATCH
             record.set_id = None
             record.used = 0
+            self.catalog.touch_media(label)
             recycled.append(label)
         return recycled
 

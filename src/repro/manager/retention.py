@@ -118,11 +118,14 @@ def parse_policy(text: str) -> RetentionPolicy:
     )
 
 
-def prune(catalog, pool=None, now_day: Optional[int] = None) -> dict:
+def prune(catalog, pool=None, now_day: Optional[int] = None,
+          save: bool = True) -> dict:
     """Apply every stored policy; returns {(fsid, subtree): [set ids]}.
 
     Marks whole chains obsolete in the catalog and — when a media
     ``pool`` is given — recycles their cartridges back to scratch.
+    ``save=False`` leaves persistence to the caller (the fleet service
+    journals the dirty records instead of rewriting the image per day).
     """
     if now_day is None:
         now_day = catalog.latest_day()
@@ -140,7 +143,8 @@ def prune(catalog, pool=None, now_day: Optional[int] = None) -> dict:
     problems = catalog.validate_no_orphans()
     if problems:
         raise CatalogError("prune broke a chain: %s" % "; ".join(problems))
-    catalog.save()
+    if save:
+        catalog.save()
     return retired
 
 

@@ -142,6 +142,45 @@ def _mark_pool_worker() -> None:
     _POOL_WORKER = True
 
 
+# -- worker-resident object cache ---------------------------------------
+
+#: Per-process resident objects: name -> (epoch, value).  Lives in the
+#: process that executes tasks — a lane worker under a persistent pool,
+#: the parent itself on the serial path — so a task that finds its key
+#: here skips deserialising the shipped state entirely.  Keyed by name
+#: with the epoch alongside (not by (name, epoch) tuples) so a new
+#: epoch automatically evicts the stale generation instead of leaking it.
+_RESIDENT: Dict[str, Tuple[int, Any]] = {}
+
+
+def resident_lookup(name: str, epoch: int) -> Any:
+    """The resident object for ``name`` iff it is at ``epoch``, else None."""
+    entry = _RESIDENT.get(name)
+    if entry is not None and entry[0] == epoch:
+        return entry[1]
+    return None
+
+
+def resident_store(name: str, epoch: int, value: Any) -> None:
+    """Pin ``value`` as this process's resident state for ``name``."""
+    _RESIDENT[name] = (epoch, value)
+
+
+def resident_discard(name: str) -> None:
+    _RESIDENT.pop(name, None)
+
+
+def resident_fetch(name: str, epoch: int) -> Any:
+    """Task entry point: ship a resident object back to the parent.
+
+    The parent submits this to a specific lane to checkpoint state that
+    lives worker-side (large values take the shared-memory path like any
+    other task result).  Serial pools resolve it in-process, returning
+    the very object the parent already holds — no copy, no pickle.
+    """
+    return resident_lookup(name, epoch)
+
+
 class _ShmHandle:
     """Name and size of a shared-memory segment holding a pickled value."""
 
@@ -302,6 +341,14 @@ class TaskPool:
     is first created, anything they must inherit from the parent — an
     enabled tracer, registry state — must be in place before the first
     persistent ``run``; per-batch state must travel in the spec arguments.
+
+    A persistent pool can additionally pin work to *lanes*: ``run(...,
+    lanes=[...])`` routes each spec to a dedicated single-worker executor
+    chosen by ``lane % jobs``.  The same lane always reaches the same
+    worker process, which is what lets workers keep tenant state resident
+    (:func:`resident_store`) across batches — and because lane numbering
+    is part of the scheduler's deterministic output, the routing is
+    identical run to run.
     """
 
     def __init__(self, jobs: int = 1, persistent: bool = False):
@@ -311,6 +358,7 @@ class TaskPool:
         self.parallel = jobs > 1 and fork_available()
         self.persistent = persistent
         self._executor = None
+        self._lane_executors: Dict[int, Any] = {}
 
     # -- serial path ------------------------------------------------------
 
@@ -360,19 +408,43 @@ class TaskPool:
                                    mp_context=multiprocessing.get_context("fork"),
                                    initializer=_mark_pool_worker)
 
+    def executor_index(self, lane: int) -> int:
+        """Which worker slot a scheduler lane maps to (``lane % jobs``).
+
+        Lanes are numbered by the *scheduler* (0..drives-1) independent
+        of ``--jobs``, so the mapping folds however many lanes exist onto
+        however many workers this pool actually has.  Serial pools map
+        everything to slot 0 — the parent process itself.
+        """
+        if not self.parallel:
+            return 0
+        return lane % self.jobs
+
+    def _lane_executor(self, index: int):
+        executor = self._lane_executors.get(index)
+        if executor is None:
+            executor = self._make_executor(1)
+            self._lane_executors[index] = executor
+        return executor
+
     def _run_parallel(self, specs: List[TaskSpec],
-                      progress: Optional[Callable[[TaskEvent], None]]) -> List[TaskResult]:
+                      progress: Optional[Callable[[TaskEvent], None]],
+                      lanes: Optional[List[int]] = None) -> List[TaskResult]:
         if self.persistent:
+            if lanes is not None:
+                routes = [self.executor_index(lane) for lane in lanes]
+                return self._drain(
+                    lambda i: self._lane_executor(routes[i]), specs, progress)
             if self._executor is None:
                 self._executor = self._make_executor(self.jobs)
-            return self._drain(self._executor, specs, progress)
+            return self._drain(lambda i: self._executor, specs, progress)
         executor = self._make_executor(min(self.jobs, len(specs)) or 1)
         try:
-            return self._drain(executor, specs, progress)
+            return self._drain(lambda i: executor, specs, progress)
         finally:
             executor.shutdown(wait=True)
 
-    def _drain(self, executor, specs: List[TaskSpec],
+    def _drain(self, executor_of, specs: List[TaskSpec],
                progress: Optional[Callable[[TaskEvent], None]]) -> List[TaskResult]:
         from concurrent.futures import FIRST_COMPLETED, wait
 
@@ -381,7 +453,7 @@ class TaskPool:
         attempts = [0] * len(specs)
         done = 0
         failure: Optional[TaskError] = None
-        pending = {executor.submit(_worker, spec): index
+        pending = {executor_of(index).submit(_worker, spec): index
                    for index, spec in enumerate(specs)}
         for index in pending.values():
             attempts[index] += 1
@@ -426,7 +498,7 @@ class TaskPool:
                         obs_slots[index] = obs
                 elif will_retry:
                     attempts[index] += 1
-                    pending[executor.submit(_worker, spec)] = index
+                    pending[executor_of(index).submit(_worker, spec)] = index
                 elif failure is None:
                     klass = (TaskTimeout if status == "timeout"
                              else TaskError)
@@ -481,26 +553,66 @@ class TaskPool:
     # -- entry point ------------------------------------------------------
 
     def run(self, specs: List[TaskSpec],
-            progress: Optional[Callable[[TaskEvent], None]] = None) -> List[TaskResult]:
-        """Run every spec; results come back in declaration order."""
+            progress: Optional[Callable[[TaskEvent], None]] = None,
+            lanes: Optional[List[int]] = None) -> List[TaskResult]:
+        """Run every spec; results come back in declaration order.
+
+        ``lanes`` (persistent pools only) pins ``specs[i]`` to the worker
+        that owns ``lanes[i]`` — the sticky-affinity transport.  Serial
+        pools ignore it: everything already runs in the one process that
+        holds all resident state.
+        """
         specs = list(specs)
         if not specs:
             return []
+        if lanes is not None and len(lanes) != len(specs):
+            raise ReproError("lanes must parallel specs")
         if not self.parallel:
             return self._run_serial(specs, progress)
-        return self._run_parallel(specs, progress)
+        if lanes is not None and not self.persistent:
+            raise ReproError("lane routing requires a persistent pool")
+        return self._run_parallel(specs, progress, lanes)
 
     def map_values(self, specs: List[TaskSpec],
-                   progress: Optional[Callable[[TaskEvent], None]] = None) -> List[Any]:
+                   progress: Optional[Callable[[TaskEvent], None]] = None,
+                   lanes: Optional[List[int]] = None) -> List[Any]:
         """``run`` but returning just the task values, in order."""
-        return [result.value for result in self.run(specs, progress)]
+        return [result.value for result in self.run(specs, progress,
+                                                    lanes=lanes)]
+
+    def fetch_resident(self, name: str, epoch: int, lane: int) -> Any:
+        """Pull a resident object home from the worker owning ``lane``.
+
+        Returns the worker's copy of ``name`` at ``epoch``, or ``None``
+        if that worker holds nothing current.  This is a side channel —
+        no retries, no progress events, and deliberately no attempt
+        counters or observability merge, so fetching state does not
+        perturb the metrics that serial and parallel runs byte-compare.
+        """
+        if not self.parallel:
+            return resident_lookup(name, epoch)
+        if not self.persistent:
+            raise ReproError("resident fetch requires a persistent pool")
+        executor = self._lane_executor(self.executor_index(lane))
+        spec = TaskSpec("fetch.%s" % name, resident_fetch, (name, epoch),
+                        retries=0)
+        status, value, _elapsed, _pid, tb_text, _obs = executor.submit(
+            _worker, spec).result()
+        if status != "ok":
+            raise TaskError(spec.name,
+                            "resident fetch for %r failed: %s"
+                            % (name, value), tb_text)
+        return _receive_value(value)
 
     # -- lifetime ----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down a persistent executor; idempotent, serial-safe."""
+        """Shut down persistent executors; idempotent, serial-safe."""
         executor, self._executor = self._executor, None
         if executor is not None:
+            executor.shutdown(wait=True)
+        lane_executors, self._lane_executors = self._lane_executors, {}
+        for executor in lane_executors.values():
             executor.shutdown(wait=True)
 
     def __enter__(self) -> "TaskPool":
@@ -519,4 +631,8 @@ __all__ = [
     "TaskSpec",
     "TaskTimeout",
     "fork_available",
+    "resident_discard",
+    "resident_fetch",
+    "resident_lookup",
+    "resident_store",
 ]

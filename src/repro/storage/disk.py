@@ -71,22 +71,51 @@ class VirtualDisk:
         return self.nblocks * self.block_size
 
     def __getstate__(self):
-        # memoryview chunks do not pickle: ship each chunk's payload as
-        # raw bytes and rebuild writable views on the receiving side.
+        # memoryview chunks do not pickle: ship each chunk's payload in a
+        # picklable form and rebuild writable views on the receiving side.
         # This is what lets a whole simulated volume cross a process
         # boundary (parallel campaign workers return their file systems).
+        #
+        # A materialized chunk is usually mostly zeros (a small volume gets
+        # one whole-disk chunk, so a single write materializes the entire
+        # address space).  Pack only the nonzero block rows — (row count,
+        # uint32 row indices, packed payload) — and fall back to the raw
+        # bytes when at least half the rows are nonzero, where the index
+        # overhead stops paying for itself.
         state = self.__dict__.copy()
-        state["_chunks"] = {ci: bytes(view)
-                            for ci, view in self._chunks.items()}
+        bs = self.block_size
+        packed = {}
+        for ci, view in self._chunks.items():
+            rows = np.frombuffer(view, dtype=np.uint8).reshape(-1, bs)
+            nz = np.flatnonzero(rows.any(axis=1))
+            if nz.size * 2 >= rows.shape[0]:
+                packed[ci] = bytes(view)
+            else:
+                packed[ci] = (rows.shape[0],
+                              nz.astype(np.uint32).tobytes(),
+                              rows[nz].tobytes())
+        state["_chunks"] = packed
         return state
 
     def __setstate__(self, state):
         chunks = state.pop("_chunks")
         self.__dict__.update(state)
-        self._chunks = {
-            ci: memoryview(np.frombuffer(bytearray(blob), dtype=np.uint8))
-            for ci, blob in chunks.items()
-        }
+        bs = self.block_size
+        rebuilt = {}
+        for ci, blob in chunks.items():
+            if isinstance(blob, (bytes, bytearray)):
+                # Dense form (and pickles from before sparse packing).
+                rebuilt[ci] = memoryview(
+                    np.frombuffer(bytearray(blob), dtype=np.uint8))
+                continue
+            nrows, index_blob, payload = blob
+            arr = np.zeros(nrows * bs, dtype=np.uint8)
+            indices = np.frombuffer(index_blob, dtype=np.uint32)
+            if indices.size:
+                arr.reshape(nrows, bs)[indices] = np.frombuffer(
+                    payload, dtype=np.uint8).reshape(indices.size, bs)
+            rebuilt[ci] = memoryview(arr)
+        self._chunks = rebuilt
 
     def _check(self, block: int) -> None:
         if not 0 <= block < self.nblocks:

@@ -26,7 +26,9 @@ _CHUNK = struct.Struct("<IQ")  # block number, payload length (compressed)
 
 
 def _write_frame(handle: BinaryIO, payload: bytes) -> None:
-    compressed = zlib.compress(payload, level=6)
+    # Level 1: these containers are rewritten on every commit, so write
+    # speed beats ratio; decompression accepts any level unchanged.
+    compressed = zlib.compress(payload, level=1)
     handle.write(struct.pack("<Q", len(compressed)))
     handle.write(compressed)
 

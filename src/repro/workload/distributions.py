@@ -75,6 +75,12 @@ class TreeShape:
         self.sparse_fraction = sparse_fraction
 
 
+# The repeating unit depends only on ``seed % 251``, so there are at most
+# 251 distinct patterns — memoized, generation is a dict hit plus one
+# C-level bytes repeat instead of a 251-iteration Python loop per file.
+_UNIT_CACHE: dict = {}
+
+
 def deterministic_bytes(seed: int, length: int) -> bytes:
     """Reproducible, mildly compressible file contents.
 
@@ -83,7 +89,11 @@ def deterministic_bytes(seed: int, length: int) -> bytes:
     """
     if length <= 0:
         return b""
-    unit = bytes((seed + i * 7) % 251 for i in range(251))
+    key = seed % 251
+    unit = _UNIT_CACHE.get(key)
+    if unit is None:
+        unit = bytes((key + i * 7) % 251 for i in range(251))
+        _UNIT_CACHE[key] = unit
     reps = length // len(unit) + 1
     return (unit * reps)[:length]
 

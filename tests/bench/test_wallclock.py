@@ -37,6 +37,25 @@ def test_check_regression_flags_slowdown():
                                       tolerance=0.2) == []
 
 
+def test_fleet_speedup_is_calibration_normalized():
+    baseline = {
+        "calibration_seconds": 0.5,
+        "benchmarks": {"macro.fleet.smoke": {"rate": 50.0}},
+    }
+    report = {
+        "calibration_seconds": 1.0,  # half-speed machine...
+        "benchmarks": {"macro.fleet.hotpath": {"rate": 125.0}},
+    }
+    # ...so 125 jobs/s here is worth 250 on the baseline machine: 5x.
+    assert wallclock.fleet_speedup(report, baseline) == pytest.approx(5.0)
+    # Either side missing its entry -> no ratio, caller decides.
+    assert wallclock.fleet_speedup({"calibration_seconds": 1.0,
+                                    "benchmarks": {}}, baseline) is None
+    assert wallclock.fleet_speedup(report,
+                                   {"calibration_seconds": 0.5,
+                                    "benchmarks": {}}) is None
+
+
 def test_null_observability_overhead_gate():
     """A disabled gate check must cost <= 3% of the cheapest guarded op.
 

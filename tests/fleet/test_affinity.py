@@ -1,0 +1,147 @@
+"""Sticky tenant affinity and the worker-resident cache: determinism.
+
+Three runs of the same 4-tenant, 2-drive fleet — parallel with a live
+mid-run cache invalidation, serial with the same invalidation, and a
+parallel run restarted cold halfway (fresh service, residents gone,
+epochs back to zero) — must leave byte-identical artifacts.  Affinity
+itself must be deterministic, persisted, and sticky across days.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+import os
+
+import pytest
+
+from repro.fleet import FleetService, FleetSpec, TenantSpec, load_state
+
+DAYS = 4
+INVALIDATED = "beta"
+
+COMPARED_FILES = [
+    "events.jsonl",
+    "state.json",
+    "tenants/alfa/catalog.json",
+    "tenants/beta/catalog.json",
+    "tenants/gila/catalog.json",
+    "tenants/dune/catalog.json",
+    "tenants/alfa/catalog.json.journal",
+    "tenants/beta/catalog.json.journal",
+    "tenants/gila/catalog.json.journal",
+    "tenants/dune/catalog.json.journal",
+    "tenants/alfa/media.bin",
+    "tenants/beta/media.bin",
+    "tenants/gila/media.bin",
+    "tenants/dune/media.bin",
+]
+
+
+def make_spec():
+    names = ["alfa", "beta", "gila", "dune"]
+    strategies = ["logical", "image", "logical", "image"]
+    return FleetSpec(
+        tenants=[
+            TenantSpec(name, lane="daily", strategy=strategy,
+                       schedule="gfs:4x2", retention="redundancy 2",
+                       data_bytes=200_000 + 25_000 * index,
+                       seed=50 + index, cartridges=8,
+                       cartridge_capacity=2_000_000, blocks_per_disk=900)
+            for index, (name, strategy) in enumerate(zip(names, strategies))
+        ],
+        drives=2, seed=171717)
+
+
+def run_with_midrun_invalidation(root, jobs):
+    """Half the days, a live epoch bump, the other half, then finalize.
+
+    ``run_day`` keeps the pool (and therefore the worker-resident
+    volumes) alive across the invalidation, so the parallel run really
+    exercises sync-home + epoch bump + reship; ``run_days(0)`` is the
+    shutdown path — residents pulled home, state saved.
+    """
+    FleetService.init_fleet(str(root), make_spec())
+    service = FleetService(str(root), jobs=jobs)
+    for _ in range(DAYS // 2):
+        service.run_day()
+    service.invalidate_tenant(INVALIDATED)
+    for _ in range(DAYS // 2):
+        service.run_day()
+    service.run_days(0)
+    return service
+
+
+def run_with_cold_restart(root, jobs):
+    """Same days, but a full service restart (cold caches) halfway."""
+    FleetService.init_fleet(str(root), make_spec())
+    FleetService(str(root), jobs=jobs).run_days(DAYS // 2)
+    service = FleetService(str(root), jobs=jobs)
+    service.run_days(DAYS - DAYS // 2)
+    return service
+
+
+@pytest.fixture(scope="module")
+def fleet_trio(tmp_path_factory):
+    roots = {
+        "parallel": tmp_path_factory.mktemp("aff_parallel"),
+        "serial": tmp_path_factory.mktemp("aff_serial"),
+        "cold": tmp_path_factory.mktemp("aff_cold"),
+    }
+    services = {
+        "parallel": run_with_midrun_invalidation(roots["parallel"], jobs=2),
+        "serial": run_with_midrun_invalidation(roots["serial"], jobs=1),
+        "cold": run_with_cold_restart(roots["cold"], jobs=2),
+    }
+    return roots, services
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("variant", ["serial", "cold"])
+    @pytest.mark.parametrize("rel", COMPARED_FILES)
+    def test_byte_identical_to_parallel(self, fleet_trio, variant, rel):
+        roots, _ = fleet_trio
+        assert filecmp.cmp(os.path.join(str(roots["parallel"]), rel),
+                           os.path.join(str(roots[variant]), rel),
+                           shallow=False), "%s differs (%s)" % (rel, variant)
+
+    def test_epoch_bumped_by_invalidation(self, fleet_trio):
+        _, services = fleet_trio
+        for variant in ("parallel", "serial"):
+            service = services[variant]
+            assert service.tenants[INVALIDATED].epoch == 1
+            others = [t.epoch for name, t in service.tenants.items()
+                      if name != INVALIDATED]
+            assert others == [0, 0, 0]
+
+
+class TestStickiness:
+    def test_affinity_covers_all_tenants_and_lanes(self, fleet_trio):
+        roots, services = fleet_trio
+        affinity = services["parallel"].scheduler.affinity
+        assert sorted(affinity) == ["alfa", "beta", "dune", "gila"]
+        # Two drive lanes, four tenants: both lanes carry two tenants.
+        lanes = sorted(affinity.values())
+        assert lanes == [0, 0, 1, 1]
+        assert load_state(str(roots["parallel"]))["affinity"] == affinity
+
+    def test_affinity_identical_across_variants(self, fleet_trio):
+        _, services = fleet_trio
+        reference = services["parallel"].scheduler.affinity
+        assert services["serial"].scheduler.affinity == reference
+        assert services["cold"].scheduler.affinity == reference
+
+    def test_assignment_happens_once_then_sticks(self, fleet_trio):
+        roots, _ = fleet_trio
+        with open(os.path.join(str(roots["parallel"]),
+                               "events.jsonl")) as handle:
+            events = [json.loads(line) for line in handle]
+        affinity_events = [e for e in events if e["event"] == "affinity"]
+        # One assignment per tenant, all on day 0 — the mid-run epoch
+        # bump invalidates the *cache*, never the placement.
+        assert len(affinity_events) == 4
+        assert {e["day"] for e in affinity_events} == {0}
+        # Dumps keep running on the assigned lane every day after.
+        finishes = [e for e in events
+                    if e["event"] == "finish" and e["kind"] == "dump"]
+        assert len(finishes) == 4 * DAYS

@@ -31,6 +31,9 @@ COMPARED_FILES = [
     "tenants/acme/catalog.json",
     "tenants/bolt/catalog.json",
     "tenants/corp/catalog.json",
+    "tenants/acme/catalog.json.journal",
+    "tenants/bolt/catalog.json.journal",
+    "tenants/corp/catalog.json.journal",
     "tenants/acme/media.bin",
     "tenants/bolt/media.bin",
     "tenants/corp/media.bin",
@@ -91,7 +94,7 @@ class TestDeterminism:
             events = [json.loads(line) for line in handle]
         assert events, "event log is empty"
         kinds = {event["event"] for event in events}
-        assert kinds == {"submit", "start", "finish"}
+        assert kinds == {"submit", "start", "affinity", "finish"}
         starts = {e["job"] for e in events if e["event"] == "start"}
         finishes = {e["job"] for e in events if e["event"] == "finish"}
         assert starts == finishes
