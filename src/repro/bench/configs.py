@@ -18,13 +18,34 @@ from typing import Dict, List, Optional
 from repro.raid.layout import geometry_for_capacity
 from repro.raid.volume import RaidVolume
 from repro.storage.tape import TapeDrive, TapeStacker
-from repro.units import GB
+from repro.units import GB, MB
 from repro.wafl.filesystem import WaflFilesystem
 from repro.workload.aging import AgingConfig, age_filesystem, fragmentation_report
 from repro.workload.generator import WorkloadGenerator
 from repro.bench import paper
 
 DEFAULT_SCALE = 1000
+
+# Bytes populated for the paper-geometry (scale=1) full-scale runs.
+FULLSCALE_DATA_CAP = 192 * MB
+
+# Count of expensive volume builds (build_home / build_rlse) in this
+# process.  The full-scale grid asserts the *workers* never build — they
+# must inherit the parent's cached environment through fork and clone it.
+_BUILD_COUNT = 0
+
+
+def env_build_count() -> int:
+    """How many volume builds this process has performed."""
+    return _BUILD_COUNT
+
+
+def fullscale_config() -> EliotConfig:
+    """The paper's geometry (188 GB address space, 31 spindles) with the
+    populated set capped: chunked stores make the empty space free, so
+    this exercises paper-scale addressing, block-map size, and extent
+    paths at a CI-sized data volume."""
+    return EliotConfig(scale=1, data_cap=FULLSCALE_DATA_CAP, aging_rounds=1)
 
 
 class EliotConfig:
@@ -127,6 +148,8 @@ class ExperimentEnv:
 
     def build_home(self) -> None:
         """``home``: 3 RAID groups of 10 data disks (31 spindles total)."""
+        global _BUILD_COUNT
+        _BUILD_COUNT += 1
         config = self.config
         geometry = geometry_for_capacity(
             config.home_bytes, ngroups=3, ndata_disks=10, slack=1.6
@@ -167,6 +190,8 @@ class ExperimentEnv:
 
     def build_rlse(self) -> None:
         """``rlse``: 2 RAID groups of 10 data disks (22 spindles total)."""
+        global _BUILD_COUNT
+        _BUILD_COUNT += 1
         config = self.config
         geometry = geometry_for_capacity(
             config.rlse_bytes, ngroups=2, ndata_disks=10, slack=1.6
@@ -183,6 +208,32 @@ class ExperimentEnv:
                             seed=config.seed + 78),
             )
         self.rlse_fs.consistency_point()
+
+    def clone(self) -> "ExperimentEnv":
+        """A writable copy-on-write fork of this built environment.
+
+        Volumes are cloned chunk-sharing (see ``VirtualDisk.clone``); the
+        mounted file systems are cloned without a remount, reproducing
+        their in-memory state (inode cache, cache warmth, counters)
+        exactly — a cloned environment runs the tables byte-identically
+        to a freshly built one, for the cost of the block-map memcpy.
+        Trees, qtree paths, and the drive counter are shared/copied so
+        drive naming stays deterministic.  Any memoized ``run_basic``
+        results are deliberately *not* carried over.
+        """
+        other = ExperimentEnv(self.config)
+        if self.home_fs is not None:
+            other.home_fs = self.home_fs.clone_volume()
+            other.home_volume = other.home_fs.volume
+        if self.rlse_fs is not None:
+            other.rlse_fs = self.rlse_fs.clone_volume()
+            other.rlse_volume = other.rlse_fs.volume
+        other.home_tree = self.home_tree
+        other.rlse_tree = self.rlse_tree
+        other.qtree_paths = list(self.qtree_paths)
+        other.fragmentation = dict(self.fragmentation)
+        other._drive_counter = self._drive_counter
+        return other
 
     # -- devices --------------------------------------------------------------
 
@@ -241,10 +292,76 @@ def clear_env_cache() -> None:
     _ENV_CACHE.clear()
 
 
+def register_env(env: ExperimentEnv, with_rlse: bool = False) -> None:
+    """Install a built (or loaded) environment in the process cache, so
+    subsequent :func:`build_home_env` calls — including those made by
+    forked workers, which inherit the cache — find it without building."""
+    _ENV_CACHE[env.config.cache_key() + (with_rlse,)] = env
+
+
+_CONFIG_FIELDS = ("scale", "seed", "aging_rounds", "churn_fraction",
+                  "qtrees", "tape_capacity", "tapes_per_stacker", "data_cap")
+
+
+def save_env(env: ExperimentEnv, path: str) -> int:
+    """Persist a built environment to ``path``, pickle-free; returns bytes.
+
+    The container holds the builder's configuration plus the volumes'
+    on-disk state (see ``repro.storage.persist.save_env_container``), so
+    it must be written at a consistency point — which is how every build
+    ends.  :func:`load_env` remounts rather than replays, so repeated
+    bench runs and CI jobs skip the multi-second build entirely.
+    """
+    from repro.storage.persist import save_env_container
+
+    config = env.config
+    header = {
+        "config": {field: getattr(config, field)
+                   for field in _CONFIG_FIELDS},
+        "with_rlse": env.rlse_fs is not None,
+        "qtree_paths": env.qtree_paths,
+        "fragmentation": env.fragmentation,
+    }
+    volumes = [env.home_volume]
+    if env.rlse_fs is not None:
+        volumes.append(env.rlse_volume)
+    return save_env_container(path, header, volumes)
+
+
+def load_env(path: str, register: bool = True) -> ExperimentEnv:
+    """Mount an environment saved by :func:`save_env`.
+
+    With ``register`` (the default) the environment lands in the process
+    env cache under its configuration key, exactly where
+    :func:`build_home_env` would have cached a fresh build.
+    """
+    from repro.storage.persist import load_env_container
+
+    header, volumes = load_env_container(path)
+    config = EliotConfig(**header["config"])
+    env = ExperimentEnv(config)
+    env.home_volume = volumes[0]
+    env.home_fs = WaflFilesystem.mount(env.home_volume)
+    if header["with_rlse"]:
+        env.rlse_volume = volumes[1]
+        env.rlse_fs = WaflFilesystem.mount(env.rlse_volume)
+    env.qtree_paths = list(header.get("qtree_paths") or [])
+    env.fragmentation = dict(header.get("fragmentation") or {})
+    if register:
+        register_env(env, with_rlse=header["with_rlse"])
+    return env
+
+
 __all__ = [
     "DEFAULT_SCALE",
+    "FULLSCALE_DATA_CAP",
     "EliotConfig",
     "ExperimentEnv",
     "build_home_env",
     "clear_env_cache",
+    "env_build_count",
+    "fullscale_config",
+    "load_env",
+    "register_env",
+    "save_env",
 ]

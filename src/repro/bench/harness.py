@@ -165,6 +165,89 @@ def run_basic(env: Optional[ExperimentEnv] = None) -> Dict:
     return env._basic_results
 
 
+#: The four single-drive operations of Tables 2 and 3, as independent
+#: task names.  Each runs against its own COW clone of the pristine
+#: environment, so any subset can run in any order — or in parallel
+#: workers — and produce the same numbers.
+BASIC_OPS = ("logical-dump", "physical-dump",
+             "logical-restore", "physical-restore")
+
+
+def run_basic_op(env: ExperimentEnv, op: str) -> Dict:
+    """One basic operation on a private copy-on-write clone of ``env``.
+
+    The clone means every op starts from the identical pristine aged
+    state regardless of what ran before it in this process; the restore
+    ops re-create their dump stream in-process first (byte-identical to
+    the dump op's stream, since both dumps start from the same state).
+    Returns a payload dict: ``op``, ``result`` (the op's
+    :class:`JobResult`), ``data_bytes``, and for restores ``diffs``
+    (the verify-trees difference count, 0 when bit-perfect).
+    """
+    if op not in BASIC_OPS:
+        raise ReproError("unknown basic op %r" % (op,))
+    work = env.clone()
+    fs = work.home_fs
+    data_bytes = work.data_bytes("home")
+    costs = work.config.cost_model()
+    payload: Dict = {"op": op, "data_bytes": data_bytes}
+    if op.startswith("logical"):
+        drive = work.new_drive("t2-logical")
+        run = TimedRun()
+        run.add_job("logical-dump",
+                    LogicalDump(fs, drive, level=0, dumpdates=DumpDates(),
+                                costs=costs).run())
+        result = run.run()["logical-dump"]
+        if op == "logical-restore":
+            restore_volume = work.fresh_home_volume()
+            restore_fs = WaflFilesystem.format(restore_volume,
+                                               nvram=NvramLog())
+            run = TimedRun()
+            run.add_job(op, LogicalRestore(restore_fs, drive,
+                                           costs=costs).run())
+            result = run.run()[op]
+            payload["diffs"] = len(verify_trees(fs, restore_fs,
+                                                check_mtime=True))
+    else:
+        drive = work.new_drive("t2-physical")
+        run = TimedRun()
+        run.add_job("physical-dump", ImageDump(fs, drive, costs=costs).run())
+        result = run.run()["physical-dump"]
+        if op == "physical-restore":
+            image_volume = work.fresh_home_volume()
+            run = TimedRun()
+            run.add_job(op, ImageRestore(image_volume, drive,
+                                         costs=costs).run())
+            result = run.run()[op]
+            image_fs = WaflFilesystem.mount(image_volume)
+            payload["diffs"] = len(verify_trees(fs, image_fs,
+                                                check_mtime=True))
+    payload["result"] = result
+    return payload
+
+
+def basic_from_ops(payloads) -> Dict:
+    """Assemble a ``run_basic``-shaped dict from the four op payloads."""
+    by_op = {payload["op"]: payload for payload in payloads}
+    missing = [op for op in BASIC_OPS if op not in by_op]
+    if missing:
+        raise ReproError("missing basic op payload(s): %s"
+                         % ", ".join(missing))
+    return {
+        "logical-dump": by_op["logical-dump"]["result"],
+        "logical-restore": by_op["logical-restore"]["result"],
+        "physical-dump": by_op["physical-dump"]["result"],
+        "physical-restore": by_op["physical-restore"]["result"],
+        "data_bytes": by_op["logical-dump"]["data_bytes"],
+        "logical_diffs": by_op["logical-restore"]["diffs"],
+        "physical_diffs": by_op["physical-restore"]["diffs"],
+    }
+
+
+def _diff_count(diffs) -> int:
+    return diffs if isinstance(diffs, int) else len(diffs)
+
+
 def _op_rate(result: JobResult, data_bytes: int,
              exclude_stages: Tuple[str, ...] = ()) -> Tuple[float, float]:
     """(MB/s, data seconds) over the data-proportional stages."""
@@ -180,12 +263,17 @@ def _op_rate(result: JobResult, data_bytes: int,
 def run_table2(env: Optional[ExperimentEnv] = None) -> Table:
     """Table 2: elapsed time, MB/s, GB/hour for the four operations."""
     basic = run_basic(env)
-    env = basic["env"]
+    return table2_from_basic(basic, basic["env"].config.scale)
+
+
+def table2_from_basic(basic: Dict, scale: int) -> Table:
+    """Assemble Table 2 from a basic-results dict (see :func:`run_basic`
+    and :func:`basic_from_ops`)."""
     data_bytes = basic["data_bytes"]
     snapshot_stages = (STAGE_SNAP_CREATE, STAGE_SNAP_DELETE)
     table = Table(
         "Table 2 — basic backup and restore (1 DLT drive, %s)"
-        % ("scale 1:%d" % env.config.scale)
+        % ("scale 1:%d" % scale)
     )
     ops = [
         ("Logical Backup", basic["logical-dump"], snapshot_stages),
@@ -202,7 +290,7 @@ def run_table2(env: Optional[ExperimentEnv] = None) -> Table:
         )
         # Extrapolate: the paper's 188 GB at our measured rate, plus the
         # snapshot stages (scaled down in the run, scaled back here).
-        paper_hours = (fixed * env.config.scale
+        paper_hours = (fixed * scale
                        + paper.HOME_BYTES / MB / max(rate, 1e-9)) / HOUR
         table.add("%s elapsed (extrapolated)" % label, paper_hours,
                   published["hours"], unit="")
@@ -210,17 +298,20 @@ def run_table2(env: Optional[ExperimentEnv] = None) -> Table:
         table.add("%s GBytes/hour" % label, rate * 3600 / 1024,
                   published["gb_h"])
     table.add("logical restore verified (diff count)",
-              len(basic["logical_diffs"]), 0)
+              _diff_count(basic["logical_diffs"]), 0)
     table.add("physical restore verified (diff count)",
-              len(basic["physical_diffs"]), 0)
+              _diff_count(basic["physical_diffs"]), 0)
     return table
 
 
 def run_table3(env: Optional[ExperimentEnv] = None) -> Table:
     """Table 3: per-stage elapsed time and CPU utilization."""
     basic = run_basic(env)
-    env = basic["env"]
-    scale = env.config.scale
+    return table3_from_basic(basic, basic["env"].config.scale)
+
+
+def table3_from_basic(basic: Dict, scale: int) -> Table:
+    """Assemble Table 3 from a basic-results dict."""
     table = Table("Table 3 — dump and restore details (per stage)")
     sections = [
         ("Logical Dump", basic["logical-dump"]),
@@ -468,10 +559,15 @@ def run_concurrent_volumes(config: Optional[EliotConfig] = None) -> Table:
 
 
 __all__ = [
+    "BASIC_OPS",
+    "basic_from_ops",
     "run_basic",
+    "run_basic_op",
     "run_concurrent_volumes",
     "run_table1",
     "run_table2",
     "run_table3",
     "run_table45",
+    "table2_from_basic",
+    "table3_from_basic",
 ]

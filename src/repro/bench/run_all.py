@@ -15,23 +15,48 @@ so the written file is byte-identical regardless of worker count.
 CI smoke configuration); ``--check-determinism`` generates the reduced
 grid both serially and with the requested ``--jobs`` and fails if the
 two bodies differ by a single byte.
+
+``--mode fullscale`` runs Tables 1-3 at the paper's 188 GB geometry:
+the aged environment is built (or loaded from ``--env-cache``) exactly
+once in the parent, and each of the four Table 2/3 operations runs as
+its own task against a copy-on-write clone of it — workers inherit the
+build through ``fork`` and never rebuild, which is what makes the
+full-scale grid a minutes-not-hours affair at any ``--jobs``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.bench.ablations import SWEEPS
-from repro.bench.configs import DEFAULT_SCALE, EliotConfig, build_home_env
+from repro.bench.configs import (
+    DEFAULT_SCALE,
+    EliotConfig,
+    ExperimentEnv,
+    build_home_env,
+    clear_env_cache,
+    env_build_count,
+    fullscale_config,
+    load_env,
+    save_env,
+)
 from repro.bench.harness import (
+    BASIC_OPS,
+    basic_from_ops,
+    run_basic_op,
     run_concurrent_volumes,
     run_table1,
     run_table2,
     run_table3,
     run_table45,
+    table2_from_basic,
+    table3_from_basic,
 )
 from repro.bench.report import Table, format_table, to_markdown
 from repro.parallel import TaskPool, TaskSpec
@@ -177,6 +202,21 @@ def section_ablation_point(key: str, args: Tuple,
     return sweep(key).point_fn(*args, scale=scale)
 
 
+def section_fullscale_op(op: str) -> Dict:
+    """One basic operation against a clone of the prebuilt full-scale env.
+
+    The parent builds (or loads) the environment into the process env
+    cache *before* the pool forks, so ``build_home_env`` here is a cache
+    hit in every worker — asserted by shipping the worker's build-count
+    delta back in the payload (the parent requires it to be zero).
+    """
+    before = env_build_count()
+    env = build_home_env(fullscale_config())
+    payload = run_basic_op(env, op)
+    payload["worker_builds"] = env_build_count() - before
+    return payload
+
+
 # ---------------------------------------------------------------------------
 # Plan: declaration-ordered sections, merged back into one document
 # ---------------------------------------------------------------------------
@@ -281,15 +321,108 @@ def generate_body(jobs: int = 1, reduced: bool = False,
     return body
 
 
+# ---------------------------------------------------------------------------
+# Full-scale mode: the paper's geometry, one build, COW clones per task
+# ---------------------------------------------------------------------------
+
+def prepare_fullscale_env(env_cache: Optional[str] = None,
+                          echo=print) -> ExperimentEnv:
+    """Build — or load from ``env_cache`` — the full-scale environment.
+
+    Runs in the parent, before any pool forks, so the environment sits in
+    the process env cache where forked workers inherit it copy-on-write.
+    A missing cache file is built then saved, so the next run (or the
+    next CI job restoring the cache) skips the build.
+
+    A freshly *built* environment is always round-tripped through the
+    container and re-mounted before measuring: at full scale the builder
+    leaves a warm buffer cache whose eviction history perturbs the
+    recorded I/O of the first jobs, so measuring from a mount is what
+    makes cached and rebuilt runs byte-identical.
+    """
+    config = fullscale_config()
+    if env_cache and os.path.exists(env_cache):
+        started = time.time()
+        env = load_env(env_cache)
+        if env.config.cache_key() != config.cache_key():
+            raise ReproError(
+                "%s holds a different configuration; delete it to rebuild"
+                % env_cache)
+        echo("loaded full-scale environment from %s in %.1f s"
+             % (env_cache, time.time() - started))
+        return env
+    started = time.time()
+    env = build_home_env(config)
+    echo("built full-scale environment in %.1f s" % (time.time() - started))
+    path = env_cache or os.path.join(
+        tempfile.gettempdir(), "repro-fullscale-%d.env" % os.getpid())
+    nbytes = save_env(env, path)
+    echo("saved full-scale environment to %s (%.1f MB)"
+         % (path, nbytes / 1e6))
+    clear_env_cache()
+    env = load_env(path)  # re-registers the mounted env for the workers
+    if not env_cache:
+        os.unlink(path)
+    return env
+
+
+def generate_fullscale_body(jobs: int = 1, echo=print,
+                            env_cache: Optional[str] = None) -> str:
+    """Tables 1-3 at the paper's geometry, one op per task.
+
+    The four Table 2/3 operations run as independent tasks, each against
+    its own copy-on-write clone of the single prebuilt environment, so
+    the grid parallelizes without rebuilding — and produces the same
+    bytes at any ``--jobs``.
+    """
+    prepare_fullscale_env(env_cache, echo=echo)
+    pool = TaskPool(jobs)
+    specs = [TaskSpec("table1", section_table1)]
+    specs.extend(TaskSpec("fullscale.%s" % op, section_fullscale_op, (op,))
+                 for op in BASIC_OPS)
+    echo("running %d full-scale task(s) with jobs=%d ..."
+         % (len(specs), jobs))
+
+    def progress(event):
+        echo(event.describe())
+
+    values = pool.map_values(specs, progress)
+    table1 = values[0]
+    payloads = values[1:]
+    worker_builds = sum(payload["worker_builds"] for payload in payloads)
+    if worker_builds:
+        raise ReproError(
+            "full-scale workers rebuilt the environment %d time(s);"
+            " expected 0 (clones of the parent's single build)"
+            % worker_builds)
+    basic = basic_from_ops(payloads)
+    body = _HEADER % {"scale": 1}
+    for table in (table1, table2_from_basic(basic, scale=1),
+                  table3_from_basic(basic, scale=1)):
+        echo(format_table(table))
+        body += to_markdown(table) + "\n"
+    body += _FOOTER
+    return body
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.run_all",
         description="Regenerate EXPERIMENTS.md (optionally in parallel).",
     )
-    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md",
-                        help="output path (default: EXPERIMENTS.md)")
+    parser.add_argument("output", nargs="?", default=None,
+                        help="output path (default: EXPERIMENTS.md, or"
+                             " EXPERIMENTS_fullscale.md in fullscale mode)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (default 1 = in-process)")
+    parser.add_argument("--mode", choices=("grid", "fullscale"),
+                        default="grid",
+                        help="grid: every experiment at the default scale;"
+                             " fullscale: Tables 1-3 at the paper's geometry"
+                             " from one environment build, cloned per task")
+    parser.add_argument("--env-cache", default=None, metavar="PATH",
+                        help="fullscale mode: load the prebuilt environment"
+                             " from PATH, or build once and save it there")
     parser.add_argument("--reduced", action="store_true",
                         help="small Tables 1-3 grid only (CI smoke)")
     parser.add_argument("--check-determinism", action="store_true",
@@ -301,12 +434,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              " order, so the stream is --jobs-independent)")
     args = parser.parse_args(argv)
 
+    fullscale = args.mode == "fullscale"
+    output = args.output or ("EXPERIMENTS_fullscale.md" if fullscale
+                             else "EXPERIMENTS.md")
     started = time.time()
     if args.trace:
         from repro.obs import Tracer, set_tracer
 
         set_tracer(Tracer())
-    body = generate_body(jobs=args.jobs, reduced=args.reduced)
+    if fullscale:
+        body = generate_fullscale_body(jobs=args.jobs,
+                                       env_cache=args.env_cache)
+    else:
+        body = generate_body(jobs=args.jobs, reduced=args.reduced)
     if args.trace:
         from repro.obs import get_tracer
 
@@ -316,8 +456,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.check_determinism:
         print("re-running serially for the determinism check ...")
-        serial_body = generate_body(jobs=1, reduced=args.reduced,
-                                    echo=lambda *_a, **_k: None)
+        silent = lambda *_a, **_k: None  # noqa: E731
+        if fullscale:
+            serial_body = generate_fullscale_body(jobs=1, echo=silent,
+                                                  env_cache=args.env_cache)
+        else:
+            serial_body = generate_body(jobs=1, reduced=args.reduced,
+                                        echo=silent)
         if serial_body != body:
             print("DETERMINISM FAILURE: --jobs %d body differs from serial"
                   % args.jobs)
@@ -325,10 +470,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("determinism check passed: --jobs %d output is byte-identical"
               " to serial" % args.jobs)
 
-    with open(args.output, "w") as handle:
+    with open(output, "w") as handle:
         handle.write(body)
     print("\nwrote %s in %.0f s of wall-clock time"
-          % (args.output, time.time() - started))
+          % (output, time.time() - started))
     return 0
 
 
@@ -341,6 +486,9 @@ __all__ = [
     "REDUCED_SCALE",
     "build_plan",
     "generate_body",
+    "generate_fullscale_body",
     "main",
     "merge_sections",
+    "prepare_fullscale_env",
+    "section_fullscale_op",
 ]

@@ -30,6 +30,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.bench.configs import FULLSCALE_DATA_CAP
 from repro.units import MB
 
 SCHEMA_VERSION = 1
@@ -40,15 +41,37 @@ BASELINE_NAME = "BENCH_wallclock.json"
 SMOKE_SCALE = 16000
 SMOKE_AGING_ROUNDS = 1
 
-# Bytes populated for the paper-geometry (scale=1) fullscale macro.
-FULLSCALE_DATA_CAP = 192 * MB
-
 
 def default_baseline_path() -> str:
     """``BENCH_wallclock.json`` at the repository root (src/../..)."""
     here = os.path.dirname(os.path.abspath(__file__))
     root = os.path.abspath(os.path.join(here, os.pardir, os.pardir, os.pardir))
     return os.path.join(root, BASELINE_NAME)
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """This process's lifetime peak resident set size, in bytes.
+
+    ``ru_maxrss`` is a high-water mark, so per-benchmark values recorded
+    along a harness run are monotone non-decreasing and depend on what
+    ran before — they answer "how much memory had the harness needed by
+    the time this finished", which is exactly the number the full-scale
+    RSS gate cares about (the macros run last and dominate).
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX: record nothing rather than guess
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
+def _stamp_rss(entry: Dict) -> Dict:
+    rss = peak_rss_bytes()
+    if rss is not None:
+        entry["peak_rss_bytes"] = rss
+    return entry
 
 
 # ---------------------------------------------------------------------------
@@ -142,11 +165,15 @@ def bench_dump_stream() -> Dict[str, float]:
     )
     from repro.wafl.inode import FileType
 
-    file_data = (bytes(range(256)) * 256)[: 48 * 1024]
-    nfiles = 80
+    # Sized so the round trip takes >= 0.25 s on a typical machine: at the
+    # original 80 x 48 KB x 3 reps it ran ~0.013 s — beneath the ~0.017 s
+    # calibration workload itself, where a 20% regression gate is noise.
+    file_data = (bytes(range(256)) * 256)[: 64 * 1024]
+    nfiles = 600
+    reps = 6
 
     start = time.perf_counter()
-    for rep in range(3):
+    for rep in range(reps):
         sink = io.BytesIO()
         writer = DumpStreamWriter(sink, date=100, ddate=0)
         writer.write_tape_header(TapeLabel("wall", "fs", "/", 0, 2, nfiles + 8))
@@ -167,7 +194,7 @@ def bench_dump_stream() -> Dict[str, float]:
         while reader.next_inode() is not None:
             pass
     seconds = time.perf_counter() - start
-    moved = 2 * 3 * nfiles * len(file_data)  # written + read back
+    moved = 2 * reps * nfiles * len(file_data)  # written + read back
     return {"seconds": seconds, "rate": moved / MB / seconds, "unit": "MB/s"}
 
 
@@ -324,17 +351,12 @@ MICRO_BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
 # ---------------------------------------------------------------------------
 
 def _macro_config(mode: str):
-    from repro.bench.configs import EliotConfig
+    from repro.bench.configs import EliotConfig, fullscale_config
 
     if mode == "smoke":
         return EliotConfig(scale=SMOKE_SCALE, aging_rounds=SMOKE_AGING_ROUNDS)
     if mode == "fullscale":
-        # The paper's geometry (188 GB address space, 31 spindles) with
-        # the populated set capped: the chunked stores make the empty
-        # space free, so this exercises paper-scale addressing, block-map
-        # size, and extent paths at a CI-sized data volume.
-        return EliotConfig(scale=1, data_cap=FULLSCALE_DATA_CAP,
-                           aging_rounds=1)
+        return fullscale_config()
     return EliotConfig()
 
 
@@ -379,6 +401,39 @@ def bench_macro(mode: str, repeats: Optional[int] = None) -> Dict[str, Dict[str,
             "unit": "MB/s",
         },
     }
+
+
+def bench_fullscale_table2(jobs: int = 1) -> Dict[str, float]:
+    """The four-operation Table 2 grid at the paper's geometry.
+
+    Builds the full-scale environment once (cold, bypassing any prior
+    cache), then times the four op tasks — each running against its own
+    copy-on-write clone — exactly as ``run_all --mode fullscale`` does.
+    The build itself is excluded (``macro.fullscale.build_env`` tracks
+    it); the restore ops re-create their dump stream in-task, so the
+    grid moves the active data set six times over.
+    """
+    from repro.bench.configs import (build_home_env, clear_env_cache,
+                                     fullscale_config)
+    from repro.bench.harness import BASIC_OPS, basic_from_ops
+    from repro.bench.run_all import section_fullscale_op
+    from repro.parallel import TaskPool, TaskSpec
+
+    clear_env_cache()
+    build_home_env(fullscale_config())
+    pool = TaskPool(jobs)
+    specs = [TaskSpec("fullscale.%s" % op, section_fullscale_op, (op,))
+             for op in BASIC_OPS]
+    start = time.perf_counter()
+    payloads = pool.map_values(specs)
+    seconds = time.perf_counter() - start
+    if any(payload["worker_builds"] for payload in payloads):
+        raise RuntimeError("full-scale grid workers rebuilt the environment")
+    basic = basic_from_ops(payloads)
+    if basic["logical_diffs"] or basic["physical_diffs"]:
+        raise RuntimeError("full-scale grid restores were not bit-perfect")
+    moved = 6 * basic["data_bytes"]
+    return {"seconds": seconds, "rate": moved / MB / seconds, "unit": "MB/s"}
 
 
 # ---------------------------------------------------------------------------
@@ -625,19 +680,21 @@ def run_harness(mode: str = "smoke", quiet: bool = True,
     for name, bench in MICRO_BENCHMARKS.items():
         note("running %s ..." % name)
         if profile:
-            report["benchmarks"][name] = _profiled(name, bench, profile)
+            report["benchmarks"][name] = _stamp_rss(
+                _profiled(name, bench, profile))
             continue
         # Best of three: micro runs are fractions of a second and a single
         # scheduler hiccup would dominate them.
-        report["benchmarks"][name] = min(
+        report["benchmarks"][name] = _stamp_rss(min(
             (bench() for _ in range(3)), key=lambda entry: entry["seconds"]
-        )
+        ))
     note("running parallel.run_all_smoke ...")
     if profile:
         report["benchmarks"]["parallel.run_all_smoke"] = _profiled(
             "parallel.run_all_smoke", bench_parallel_run_all, profile)
     else:
         report["benchmarks"]["parallel.run_all_smoke"] = bench_parallel_run_all(1)
+    _stamp_rss(report["benchmarks"]["parallel.run_all_smoke"])
     if mode in ("smoke", "full"):
         fleet_benches = (("macro.fleet.smoke", bench_fleet_smoke),
                          ("macro.fleet.hotpath", bench_fleet_hotpath),
@@ -648,6 +705,7 @@ def run_harness(mode: str = "smoke", quiet: bool = True,
                 report["benchmarks"][name] = _profiled(name, bench, profile)
             else:
                 report["benchmarks"][name] = bench()
+            _stamp_rss(report["benchmarks"][name])
     if mode == "smoke":
         macro_modes = ["smoke"]
     elif mode == "full":
@@ -658,21 +716,43 @@ def run_harness(mode: str = "smoke", quiet: bool = True,
         note("running macro (%s) ..." % macro_mode)
         run_macro = lambda m=macro_mode: bench_macro(m)  # noqa: E731
         if profile:
-            report["benchmarks"].update(
-                _profiled("macro.%s" % macro_mode, run_macro, profile))
+            entries = _profiled("macro.%s" % macro_mode, run_macro, profile)
         else:
-            report["benchmarks"].update(run_macro())
+            entries = run_macro()
+        for entry in entries.values():
+            _stamp_rss(entry)
+        report["benchmarks"].update(entries)
+    if mode == "fullscale":
+        note("running macro.fullscale.table2 ...")
+        if profile:
+            entry = _profiled("macro.fullscale.table2",
+                              bench_fullscale_table2, profile)
+        else:
+            entry = bench_fullscale_table2()
+        report["benchmarks"]["macro.fullscale.table2"] = _stamp_rss(entry)
     return report
 
 
+#: Benchmark keys whose ``peak_rss_bytes`` is gated by check_regression.
+#: Only the full-scale macros: their multi-GB footprint is what the COW
+#: clone / fork-sharing work protects, and they run in a known order;
+#: micro entries' RSS is an order-dependent high-water mark, not a gate.
+RSS_GATE_PREFIX = "macro.fullscale."
+
+
 def check_regression(current: Dict, baseline: Dict,
-                     tolerance: float = 0.2) -> List[str]:
+                     tolerance: float = 0.2,
+                     rss_tolerance: float = 0.3) -> List[str]:
     """Compare calibration-normalized seconds; return regression messages.
 
     A benchmark regresses when its normalized time exceeds the baseline's
     by more than ``tolerance`` (0.2 = 20%).  Only keys present in both
     reports are compared, so a smoke run checks cleanly against a full
     baseline.  Speedups never fail.
+
+    Entries under :data:`RSS_GATE_PREFIX` additionally gate their
+    ``peak_rss_bytes`` (absolute, machines report comparable footprints
+    for the same workload) against the baseline within ``rss_tolerance``.
     """
     failures: List[str] = []
     cur_cal = current["calibration_seconds"]
@@ -692,6 +772,16 @@ def check_regression(current: Dict, baseline: Dict,
                 % (name, cur_norm / base_norm, cur_norm, base_norm,
                    round(tolerance * 100))
             )
+        if name.startswith(RSS_GATE_PREFIX):
+            base_rss = base_entry.get("peak_rss_bytes")
+            cur_rss = cur_entry.get("peak_rss_bytes")
+            if base_rss and cur_rss and cur_rss > base_rss * (1.0 + rss_tolerance):
+                failures.append(
+                    "%s: peak RSS %.2fx the baseline "
+                    "(%.0f MB vs %.0f MB, tolerance %d%%)"
+                    % (name, cur_rss / base_rss, cur_rss / MB, base_rss / MB,
+                       round(rss_tolerance * 100))
+                )
     return failures
 
 
@@ -860,9 +950,11 @@ if __name__ == "__main__":
 __all__ = [
     "BASELINE_NAME",
     "FULLSCALE_DATA_CAP",
+    "RSS_GATE_PREFIX",
     "bench_fleet_hotpath",
     "bench_fleet_scale",
     "bench_fleet_smoke",
+    "bench_fullscale_table2",
     "bench_obs_null",
     "bench_parallel_run_all",
     "calibrate",
@@ -871,5 +963,6 @@ __all__ = [
     "fleet_speedup",
     "format_report",
     "merge_baseline",
+    "peak_rss_bytes",
     "run_harness",
 ]

@@ -334,6 +334,14 @@ class TaskPool:
     same timeout/retry semantics, so the serial path exercises exactly the
     code the parallel path does.
 
+    Fork inheritance contract: a non-persistent pool creates its executor
+    inside :meth:`run`, never earlier, so anything the parent computes
+    before calling ``run`` — notably a module-level environment cache
+    holding a multi-GB built testbed — is inherited by every worker
+    through ``fork``'s page-level copy-on-write.  Tasks then ship only a
+    descriptor and find the heavy state via the inherited cache; the
+    full-scale bench grid asserts this with a worker-side build counter.
+
     A long-lived scheduler (the fleet service) passes ``persistent=True``
     to reuse one executor across many :meth:`run` calls instead of paying
     a fork-and-teardown per batch; call :meth:`close` (or use the pool as

@@ -281,6 +281,18 @@ class RaidGroup:
                 )
         return acc
 
+    def clone(self) -> "RaidGroup":
+        """A copy-on-write copy: every member disk (parity included) is
+        cloned chunk-sharing, so the group costs nothing until written."""
+        other = RaidGroup.__new__(RaidGroup)
+        other.geometry = self.geometry
+        other.block_size = self.block_size
+        other.name = self.name
+        other.data_disks = [disk.clone() for disk in self.data_disks]
+        other.parity_disk = self.parity_disk.clone()
+        other.reconstructed_reads = self.reconstructed_reads
+        return other
+
     def verify_parity(self) -> bool:
         """Check every stripe's parity (used by tests and fsck-style audits).
 

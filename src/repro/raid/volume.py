@@ -210,6 +210,25 @@ class RaidVolume:
         """A fresh volume of identical geometry (disaster-recovery target)."""
         return RaidVolume(self.geometry, name=self.name + "+new")
 
+    def clone(self) -> "RaidVolume":
+        """A copy-on-write copy of this volume.
+
+        Groups (and their disks) are cloned chunk-sharing; the buffer
+        cache is copied entry-sharing (entries are immutable bytes / lazy
+        references, so a shallow copy preserves hit/miss state exactly).
+        No recorder is attached — the caller wires its own observation,
+        exactly as after a fresh build.
+        """
+        other = RaidVolume.__new__(RaidVolume)
+        other.geometry = self.geometry
+        other.name = self.name
+        other.groups = [group.clone() for group in self.groups]
+        other._group_base = list(self._group_base)
+        other.recorder = None
+        other.cache = self.cache.clone() if self.cache is not None else None
+        other.uncached_reads = self.uncached_reads
+        return other
+
     def snapshot_blocks(self, blocks: Iterable[int]) -> dict:
         """Raw copies of the given blocks (verification helper)."""
         return {block: self.read_block(block) for block in blocks}

@@ -15,6 +15,7 @@ per-request latency.
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, List, Optional, Set
 
 import numpy as np
@@ -61,6 +62,9 @@ class VirtualDisk:
         # Small disks get one whole-disk chunk; paper-scale disks use
         # fixed 4 MB chunks so sparse regions cost nothing.
         self._chunk_blocks = min(CHUNK_BLOCKS, nblocks)
+        # Chunk indices whose backing buffer is shared with a clone();
+        # a write to a shared chunk copies it private first.
+        self._shared: Set[int] = set()
         self._bad: Set[int] = set()
         self.reads = 0
         self.writes = 0
@@ -116,6 +120,9 @@ class VirtualDisk:
                     payload, dtype=np.uint8).reshape(indices.size, bs)
             rebuilt[ci] = memoryview(arr)
         self._chunks = rebuilt
+        # Rebuilt chunks are private copies regardless of what the source
+        # shared at pickling time.
+        self._shared = set()
 
     def _check(self, block: int) -> None:
         if not 0 <= block < self.nblocks:
@@ -132,6 +139,15 @@ class VirtualDisk:
         chunk = memoryview(np.zeros(self._chunk_blocks * self.block_size,
                                     dtype=np.uint8))
         self._chunks[chunk_index] = chunk
+        return chunk
+
+    def _private(self, chunk_index: int, chunk: memoryview) -> memoryview:
+        """Copy-on-first-write: replace a clone-shared chunk with a private
+        copy before mutating it.  The other sharers keep the old buffer."""
+        arr = np.frombuffer(chunk, dtype=np.uint8).copy()
+        chunk = memoryview(arr)
+        self._chunks[chunk_index] = chunk
+        self._shared.discard(chunk_index)
         return chunk
 
     def read_block(self, block: int) -> bytes:
@@ -157,12 +173,15 @@ class VirtualDisk:
         if self._bad:
             self._bad.discard(block)
         cb = self._chunk_blocks
-        chunk = self._chunks.get(block // cb)
+        ci = block // cb
+        chunk = self._chunks.get(ci)
         if chunk is None:
             if data == self._zero:
                 # Keep the store sparse: a zero block is the default.
                 return
-            chunk = self._materialize(block // cb)
+            chunk = self._materialize(ci)
+        elif self._shared and ci in self._shared:
+            chunk = self._private(ci, chunk)
         off = (block % cb) * self.block_size
         chunk[off : off + self.block_size] = data
 
@@ -255,6 +274,8 @@ class VirtualDisk:
                 # a zero block is the default.
                 if np.frombuffer(piece, dtype=np.uint8).any():
                     chunk = self._materialize(ci)
+            elif self._shared and ci in self._shared:
+                chunk = self._private(ci, chunk)
             if chunk is not None:
                 dst = (block - cstart) * bs
                 chunk[dst : dst + take * bs] = piece
@@ -290,6 +311,55 @@ class VirtualDisk:
                 if block < self.nblocks:
                     yield block, rows[row].tobytes()
 
+    def pack_chunks(self) -> bytes:
+        """The whole store as one struct-framed sparse-row byte string.
+
+        The bulk (chunk-at-a-time, numpy-vectorized) persistence surface:
+        per materialized chunk, the nonzero block rows are packed as
+        ``(chunk index, row count, nonzero count, uint32 indices, rows)``
+        — the same sparse packing pickling uses, without pickle.  Orders
+        of magnitude faster than iterating :meth:`nonzero_blocks` on a
+        paper-scale disk.
+        """
+        bs = self.block_size
+        parts = [struct.pack("<QII", self.nblocks, self._chunk_blocks,
+                             len(self._chunks))]
+        for ci in sorted(self._chunks):
+            rows = np.frombuffer(self._chunks[ci],
+                                 dtype=np.uint8).reshape(-1, bs)
+            nz = np.flatnonzero(rows.any(axis=1)).astype(np.uint32)
+            parts.append(struct.pack("<III", ci, rows.shape[0],
+                                     int(nz.size)))
+            parts.append(nz.tobytes())
+            parts.append(rows[nz].tobytes())
+        return b"".join(parts)
+
+    def unpack_chunks(self, payload: bytes) -> None:
+        """Replace this disk's contents with a :meth:`pack_chunks` image."""
+        bs = self.block_size
+        nblocks, chunk_blocks, nchunks = struct.unpack_from("<QII",
+                                                            payload, 0)
+        if nblocks != self.nblocks or chunk_blocks != self._chunk_blocks:
+            raise StorageError(
+                "chunk container geometry mismatch on %r" % self.name)
+        offset = 16
+        chunks: Dict[int, memoryview] = {}
+        for _ in range(nchunks):
+            ci, nrows, nnz = struct.unpack_from("<III", payload, offset)
+            offset += 12
+            indices = np.frombuffer(payload, dtype=np.uint32, count=nnz,
+                                    offset=offset)
+            offset += nnz * 4
+            arr = np.zeros(nrows * bs, dtype=np.uint8)
+            if nnz:
+                arr.reshape(nrows, bs)[indices] = np.frombuffer(
+                    payload, dtype=np.uint8, count=nnz * bs,
+                    offset=offset).reshape(nnz, bs)
+            offset += nnz * bs
+            chunks[ci] = memoryview(arr)
+        self._chunks = chunks
+        self._shared = set()
+
     def allocated_count(self) -> int:
         """Number of non-zero blocks (cheap, chunk-at-a-time)."""
         count = 0
@@ -311,6 +381,29 @@ class VirtualDisk:
     def clone_empty(self) -> "VirtualDisk":
         """A fresh disk of identical geometry."""
         return VirtualDisk(self.nblocks, self.block_size, name=self.name + "+clone")
+
+    def clone(self) -> "VirtualDisk":
+        """A copy-on-write copy of this disk.
+
+        The clone observes exactly the state ``copy.deepcopy`` would give
+        it (contents, fault set, I/O counters), but shares every
+        materialized chunk buffer with the source: cloning a mostly-full
+        paper-scale disk costs a dict copy, not a data copy.  The first
+        write either side makes into a shared chunk copies that one chunk
+        private (see :meth:`_private`); reads never copy.  Clones of
+        clones share transitively — each disk tracks which of its chunk
+        indices are shared and unshares them independently.
+        """
+        other = VirtualDisk.__new__(VirtualDisk)
+        other.__dict__.update(self.__dict__)
+        other._chunks = dict(self._chunks)
+        other._bad = set(self._bad)
+        # Every materialized chunk is now shared between the two sides
+        # (re-marking chunks already shared with an older clone is a
+        # no-op: they were copy-protected before and stay so).
+        self._shared.update(self._chunks)
+        other._shared = set(self._chunks)
+        return other
 
 
 class DiskModel:

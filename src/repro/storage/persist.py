@@ -10,9 +10,10 @@ to compact zlib-compressed container files.  The CLI uses them so that
 
 from __future__ import annotations
 
+import json
 import struct
 import zlib
-from typing import BinaryIO
+from typing import BinaryIO, Dict, List, Tuple
 
 from repro.errors import StorageError
 from repro.backup.physical.image import pack_geometry, unpack_geometry
@@ -22,6 +23,7 @@ from repro.storage.tape import TapeCartridge, TapeDrive, TapeStacker
 _VOLUME_MAGIC = b"RPROVOL1"
 _TAPE_MAGIC = b"RPROTAP1"
 _MEDIA_MAGIC = b"RPROMED1"
+_ENV_MAGIC = b"RPROENV1"
 _CHUNK = struct.Struct("<IQ")  # block number, payload length (compressed)
 
 
@@ -99,6 +101,56 @@ def load_volume(path: str) -> RaidVolume:
             for disk in group.data_disks + [group.parity_disk]:
                 _deserialize_disk(disk, _read_frame(handle))
         return volume
+
+
+def save_env_container(path: str, header: Dict,
+                       volumes: List[RaidVolume]) -> int:
+    """Write a JSON header plus whole volumes, chunk-packed; returns bytes.
+
+    The environment container behind the bench layer's pickle-free
+    ``save_env``/``load_env``: an arbitrary JSON ``header`` (the builder's
+    configuration, so a loader can verify it got the environment it
+    asked for) followed by each volume's geometry and every member
+    disk's :meth:`~repro.storage.disk.VirtualDisk.pack_chunks` image.
+    Unlike :func:`save_volume` the disks serialize a vectorized chunk at
+    a time, which is what makes saving a paper-scale volume practical.
+    """
+    with open(path, "wb") as handle:
+        handle.write(_ENV_MAGIC)
+        _write_frame(handle, json.dumps(header, sort_keys=True).encode("utf-8"))
+        handle.write(struct.pack("<I", len(volumes)))
+        for volume in volumes:
+            name = volume.name.encode("utf-8")
+            handle.write(struct.pack("<H", len(name)))
+            handle.write(name)
+            geometry = pack_geometry(volume.geometry)
+            handle.write(struct.pack("<I", len(geometry)))
+            handle.write(geometry)
+            for group in volume.groups:
+                for disk in group.data_disks + [group.parity_disk]:
+                    _write_frame(handle, disk.pack_chunks())
+        return handle.tell()
+
+
+def load_env_container(path: str) -> Tuple[Dict, List[RaidVolume]]:
+    """Rebuild ``(header, volumes)`` saved by :func:`save_env_container`."""
+    with open(path, "rb") as handle:
+        if handle.read(8) != _ENV_MAGIC:
+            raise StorageError("%s is not an environment container" % path)
+        header = json.loads(_read_frame(handle).decode("utf-8"))
+        (count,) = struct.unpack("<I", handle.read(4))
+        volumes = []
+        for _ in range(count):
+            (name_length,) = struct.unpack("<H", handle.read(2))
+            name = handle.read(name_length).decode("utf-8")
+            (geo_length,) = struct.unpack("<I", handle.read(4))
+            geometry, _ = unpack_geometry(handle.read(geo_length))
+            volume = RaidVolume(geometry, name=name)
+            for group in volume.groups:
+                for disk in group.data_disks + [group.parity_disk]:
+                    disk.unpack_chunks(_read_frame(handle))
+            volumes.append(volume)
+        return header, volumes
 
 
 def save_tape(drive: TapeDrive, path: str) -> int:
@@ -182,9 +234,11 @@ def load_media(path: str):
 
 
 __all__ = [
+    "load_env_container",
     "load_media",
     "load_tape",
     "load_volume",
+    "save_env_container",
     "save_media",
     "save_tape",
     "save_volume",

@@ -230,6 +230,49 @@ class BlockTree:
                 self.ctx.free_blocks(old_vbns)
             offset += count
 
+    def write_cow_run(self, fbn: int, data: bytes) -> None:
+        """Copy-on-write consecutive file blocks, batching volume writes.
+
+        Block-for-block equivalent to calling :meth:`write_fblock` over
+        the range — same allocations (``alloc_run(1)`` repeated and one
+        ``alloc_run(n)`` walk the same free blocks in cursor order), same
+        frees, and a coalesced-identical access stream — but in-place
+        stretches whose volume blocks are consecutive go down as one
+        extent write and copy-on-write stretches reallocate through
+        :meth:`write_run`.  This is the consistency point's fast path for
+        draining the dirty block map.
+        """
+        if self.ctx.readonly:
+            raise FilesystemError("write through a read-only tree")
+        if len(data) % BLOCK_SIZE:
+            raise FilesystemError("unaligned run write")
+        nblocks = len(data) // BLOCK_SIZE
+        index = 0
+        while index < nblocks:
+            vbn = self.get_pointer(fbn + index)
+            if vbn and self.ctx.allows_inplace(vbn):
+                count = 1
+                while index + count < nblocks:
+                    nxt = self.get_pointer(fbn + index + count)
+                    if nxt != vbn + count or not self.ctx.allows_inplace(nxt):
+                        break
+                    count += 1
+                self.ctx.volume.write_run(
+                    vbn, data[index * BLOCK_SIZE : (index + count) * BLOCK_SIZE]
+                )
+                index += count
+                continue
+            count = 1
+            while index + count < nblocks:
+                nxt = self.get_pointer(fbn + index + count)
+                if nxt and self.ctx.allows_inplace(nxt):
+                    break
+                count += 1
+            self.write_run(
+                fbn + index, data[index * BLOCK_SIZE : (index + count) * BLOCK_SIZE]
+            )
+            index += count
+
     def _replace_range(self, first_fbn: int, first_vbn: int,
                        count: int) -> List[int]:
         """Point ``count`` consecutive file blocks at consecutive volume

@@ -185,6 +185,22 @@ class BlockCache:
             blocks.popitem(last=False)
             self.evictions += 1
 
+    def clone(self) -> "BlockCache":
+        """A copy with identical contents, LRU order, and statistics.
+
+        Entries are immutable ``bytes`` or lazy ``(buffer, offset, size)``
+        references into immutable buffers, so the two caches can share
+        them; each side's in-place tuple→bytes memoization only touches
+        its own dict.
+        """
+        other = BlockCache.__new__(BlockCache)
+        other.capacity = self.capacity
+        other._blocks = self._blocks.copy()
+        other.hits = self.hits
+        other.misses = self.misses
+        other.evictions = self.evictions
+        return other
+
     def invalidate(self, vbn: int) -> None:
         self._blocks.pop(vbn, None)
 

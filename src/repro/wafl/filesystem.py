@@ -31,6 +31,7 @@ plane.  Reads of the snapshot go through
 
 from __future__ import annotations
 
+import copy
 import heapq
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
@@ -247,6 +248,39 @@ class WaflFilesystem:
         finally:
             self._replaying = False
 
+    def clone_volume(self, nvram: Optional[NvramLog] = None) -> "WaflFilesystem":
+        """A writable copy of this file system on a copy-on-write volume.
+
+        No remount: the clone reproduces the in-memory state exactly — the
+        buffer cache (hits/misses/LRU order), the inode and directory parse
+        caches, allocation cursors, dirty sets, counters — so running a
+        workload on the clone behaves byte-for-byte like running it on the
+        original.  The volume is a chunk-sharing :meth:`RaidVolume.clone`,
+        so the copy costs ~4 bytes/block for the block map plus small
+        metadata, not the data size.  The original must keep mounted state
+        (do not clone a crashed file system).
+        """
+        if self.fsinfo is None or self.blockmap is None:
+            raise FilesystemError("cannot clone a crashed file system")
+        fs = WaflFilesystem.__new__(WaflFilesystem)
+        fs.volume = self.volume.clone()
+        fs.fsinfo = copy.deepcopy(self.fsinfo)
+        fs.blockmap = self.blockmap.clone()
+        fs.nvram = nvram
+        fs._clock = self._clock
+        fs._ctx = _ActiveContext(fs)
+        fs._inodes = {ino: inode.copy() for ino, inode in self._inodes.items()}
+        fs._dir_cache = dict(self._dir_cache)
+        fs._dirty_inodes = set(self._dirty_inodes)
+        fs._root_dirty = self._root_dirty
+        fs._fresh_blocks = set(self._fresh_blocks)
+        fs._in_cp = False
+        fs._free_ino_heap = list(self._free_ino_heap)
+        fs._ino_watermark = self._ino_watermark
+        fs._replaying = False
+        fs.counters = dict(self.counters)
+        return fs
+
     def crash(self) -> None:
         """Drop all in-memory state (simulated power loss).
 
@@ -376,9 +410,14 @@ class WaflFilesystem:
             while self.blockmap.dirty_fblocks:
                 # Ascending drain via the map's heap mirror: same order as
                 # min()+discard, without the quadratic set scan at paper
-                # scale (writes dirty further fblocks mid-drain).
-                fbn = self.blockmap.pop_min_dirty()
-                bm_tree.write_fblock(fbn, self.blockmap.serialize_fblock(fbn))
+                # scale (writes dirty further fblocks mid-drain).  Each
+                # maximal consecutive run goes down as extents (see
+                # write_cow_run); a run whose content shifts under its own
+                # writes re-dirties and is rewritten in place next pass,
+                # so the fixpoint argument is unchanged.
+                start, count = self.blockmap.pop_dirty_run()
+                data = self.blockmap.serialize_fblock_run(start, count)
+                bm_tree.write_cow_run(start, data)
             bm_tree.flush()
             needed = self.blockmap.n_fblocks() * BLOCK_SIZE
             if bm_inode.size < needed:
