@@ -148,24 +148,29 @@ def build_dump_engine(
     snapshot_name: Optional[str] = None,
     base_snapshot: Optional[str] = None,
     costs: Optional[CostModel] = None,
+    reuse_snapshot: Optional[str] = None,
 ):
     """One dump engine for either strategy — the campaign driver's unit.
 
     ``strategy`` is ``"logical"`` (BSD-style dump at ``level`` with base
     selection through ``dumpdates``) or ``"image"`` (block stream of
     ``snapshot_name``, incremental against ``base_snapshot`` when
-    given).  The returned generator plugs straight into
+    given).  ``reuse_snapshot`` names the snapshot a faulted attempt left
+    behind, for a rerun that must replay the original op stream (see the
+    engines' docstrings).  The returned generator plugs straight into
     :meth:`~repro.perf.executor.TimedRun.add_job`.
     """
     if strategy == "logical":
         return LogicalDump(
             fs, drive, level=level, subtree=subtree, dumpdates=dumpdates,
-            costs=costs, snapshot_name=snapshot_name,
+            costs=costs, snapshot_name=snapshot_name or reuse_snapshot,
+            reuse_snapshot=reuse_snapshot is not None,
         ).run()
     if strategy == "image":
         return ImageDump(
             fs, drive, snapshot_name=snapshot_name,
             base_snapshot=base_snapshot, costs=costs,
+            reuse_snapshot=reuse_snapshot,
         ).run()
     raise BackupError("unknown dump strategy %r" % (strategy,))
 

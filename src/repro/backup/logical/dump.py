@@ -83,12 +83,17 @@ class LogicalDump:
         date: Optional[int] = None,
         snapshot_name: Optional[str] = None,
         hostname: str = "eliot",
+        reuse_snapshot: bool = False,
     ):
         """``source`` is a live :class:`WaflFilesystem` (a snapshot is
         created for the dump and deleted afterwards, as the paper's dump
         does) or an existing :class:`SnapshotView` (no snapshot
         management).  ``exclude`` is the filter hook: a predicate over
-        (path, inode) that filters files out of the dump."""
+        (path, inode) that filters files out of the dump.
+        ``reuse_snapshot`` adopts an existing snapshot of that name
+        instead of failing on it, still emitting the creation-stage ops
+        and still deleting it at the end — so a dump resumed after a
+        fault replays the exact op stream of the original attempt."""
         self.fs = source if hasattr(source, "snapshot_create") else None
         self.source = source
         self.drive = drive
@@ -100,6 +105,7 @@ class LogicalDump:
         self.date = date
         self.snapshot_name = snapshot_name
         self.hostname = hostname
+        self.reuse_snapshot = reuse_snapshot
         self._tape_mark = 0
         self._change_mark = 0
         self._prefetch_count = 0
@@ -179,7 +185,11 @@ class LogicalDump:
                 self.level,
                 self.fs.fsinfo.cp_count,
             )
-            record = self.fs.snapshot_create(name)
+            record = None
+            if self.reuse_snapshot:
+                record = self.fs.fsinfo.find_snapshot(name)
+            if record is None:
+                record = self.fs.snapshot_create(name)
             created_snapshot = name
             source = self.fs.snapshot_view(name)
             if self.date is None:

@@ -60,6 +60,7 @@ class ImageDump:
         include_snapshots: bool = False,
         costs: Optional[CostModel] = None,
         manage_snapshot: bool = True,
+        reuse_snapshot: Optional[str] = None,
     ):
         """``drives`` is a single drive or a list (parallel striping).
 
@@ -68,7 +69,11 @@ class ImageDump:
         snapshot must still exist (its plane defines the difference).
         ``include_snapshots`` dumps the union of every plane so the
         restored system "looks just like the system you dumped, snapshots
-        and all".
+        and all".  ``reuse_snapshot`` names a snapshot left behind by a
+        faulted dump attempt: the rerun adopts it (creating it only if
+        missing) but otherwise behaves — stage ops, naming, deletion —
+        exactly as the run that created it, so the replayed op stream
+        matches the original's.
         """
         self.fs = fs
         self.drives = list(drives) if isinstance(drives, (list, tuple)) else [drives]
@@ -79,6 +84,7 @@ class ImageDump:
         self.include_snapshots = include_snapshots
         self.costs = costs or CostModel()
         self.manage_snapshot = manage_snapshot
+        self.reuse_snapshot = reuse_snapshot
 
     def _snapshot_stage_ops(self, stage: str, seconds: float, cpu_share: float):
         """A fixed-duration stage at a fixed CPU share (Table 3 rows).
@@ -112,13 +118,16 @@ class ImageDump:
         created = None
 
         # -- snapshot ------------------------------------------------------
-        name = self.snapshot_name
+        name = self.snapshot_name or self.reuse_snapshot
         if self.manage_snapshot and (
-            name is None or fs.fsinfo.find_snapshot(name) is None
+            name is None
+            or fs.fsinfo.find_snapshot(name) is None
+            or self.reuse_snapshot is not None
         ):
             yield PhaseBegin(STAGE_SNAP_CREATE)
             name = name or "image.%d" % fs.fsinfo.cp_count
-            fs.snapshot_create(name)
+            if fs.fsinfo.find_snapshot(name) is None:
+                fs.snapshot_create(name)
             created = name
             yield from self._snapshot_stage_ops(
                 STAGE_SNAP_CREATE,

@@ -35,8 +35,12 @@ import os
 from typing import Dict, List, Tuple
 
 #: Journal ops understood by :func:`replay` (anything else is rejected
-#: at append time so a version skew fails loudly on the writer).
-OPS = ("set", "media", "policy", "meta")
+#: at append time so a version skew fails loudly on the writer).  A
+#: ``batch`` wraps one commit's upserts in a single line, so a torn
+#: write can never surface part of a commit (a backup set without its
+#: media allocation, say) — the whole line either parses or is
+#: discarded.
+OPS = ("set", "media", "policy", "meta", "batch")
 
 #: Default compaction trigger: once a journal holds this many records,
 #: the next commit folds it back into the image instead of appending.
@@ -52,7 +56,21 @@ def encode_record(record: Dict) -> str:
     if record.get("op") not in OPS:
         raise ValueError("journal record has unknown op %r"
                          % (record.get("op"),))
+    if record["op"] == "batch":
+        for sub in record.get("records", ()):
+            if sub.get("op") not in OPS or sub["op"] == "batch":
+                raise ValueError("batch may only hold plain upserts, got %r"
+                                 % (sub.get("op"),))
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def record_weight(record: Dict) -> int:
+    """How many upserts a journal line carries (a batch counts its
+    members, so the compaction threshold tracks catalog churn rather
+    than commit frequency)."""
+    if record.get("op") == "batch":
+        return len(record.get("records", ()))
+    return 1
 
 
 class CatalogJournal:
@@ -86,7 +104,7 @@ class CatalogJournal:
             handle.flush()
             if sync:
                 os.fsync(handle.fileno())
-        self.records += len(records)
+        self.records += sum(record_weight(r) for r in records)
         return len(blob)
 
     def sync(self) -> None:
@@ -112,7 +130,7 @@ class CatalogJournal:
         appender under the lock can only ever corrupt the tail.
         """
         records, _tail = self._scan()
-        self.records = len(records)
+        self.records = sum(record_weight(r) for r in records)
         return records
 
     def _scan(self) -> Tuple[List[Dict], int]:
@@ -142,4 +160,4 @@ class CatalogJournal:
 
 
 __all__ = ["COMPACT_AFTER", "CatalogJournal", "OPS", "encode_record",
-           "journal_path"]
+           "journal_path", "record_weight"]

@@ -120,9 +120,14 @@ class BackupCatalog:
     def commit_dirty(self, sync: bool = True) -> int:
         """Durably commit the changed entities; returns records written.
 
-        Journal mode appends one upsert per dirty entity (sorted by id,
+        Journal mode appends the commit as one ``batch`` record — one
+        JSONL line holding every dirty entity's upsert (sorted by id,
         so serial and parallel runs write byte-identical journals) with
-        a single fsync.  Without a journal this falls back to a full
+        a single fsync.  One line per commit is what makes commits
+        *atomic under torn writes*: replay discards the journal tail
+        from the first unparseable line, so a crash mid-append loses the
+        whole commit or none of it — never a backup set without its
+        media allocation.  Without a journal this falls back to a full
         :meth:`save`.  A no-op when nothing is dirty.  ``sync=False``
         defers the fsync to :meth:`sync_journal` so multi-catalog
         callers can group their syncs.
@@ -148,7 +153,8 @@ class BackupCatalog:
             records.append({"op": "policy", "key": key,
                             "text": self.policies[key]})
         with self._lock():
-            self._journal.append(records, sync=sync)
+            self._journal.append([{"op": "batch", "records": records}],
+                                 sync=sync)
         self._clear_dirty()
         return len(records)
 
@@ -182,7 +188,10 @@ class BackupCatalog:
         """Fold replayed journal upserts over the loaded image."""
         for record in records:
             op = record["op"]
-            if op == "set":
+            if op == "batch":
+                # One commit, one line: apply its upserts in order.
+                self._apply_journal(record["records"])
+            elif op == "set":
                 backup_set = BackupSet.from_dict(record["data"])
                 self.sets[backup_set.set_id] = backup_set
             elif op == "media":

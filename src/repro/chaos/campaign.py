@@ -1,0 +1,403 @@
+"""Chaos campaigns: the fault-injecting counterpart of the campaign driver.
+
+:func:`run_volume_day_chaos` is one volume's whole day with a fault
+woven in — aging, (maybe) a crash and NVRAM recovery, the dump, (maybe)
+a tape fault and its replay, RAID repair — returning the same payload
+shape as :func:`~repro.manager.campaign.run_volume_day` plus the fault
+events.  The **oracle** run uses the very same function with a plan that
+never fires, so both campaigns execute identical code and their
+persisted state can be compared byte for byte.
+
+:class:`ChaosCampaignDriver` runs days of these.  Unlike the baseline
+driver it uses the independent-filers model (one ``TimedRun`` per
+volume, disjoint drive partitions) in *both* serial and ``--jobs N``
+mode — a day's volumes never contend, so a serial chaos campaign and a
+parallel one of the same seed are byte-identical, which is itself one of
+the determinism guarantees the chaos plane asserts.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from typing import Dict, List, Optional
+
+from repro.errors import PowerLossError
+from repro.backup.jobs import build_dump_engine
+from repro.catalog.records import STRATEGY_LOGICAL
+from repro.chaos.inject import (
+    corrupt_written_cartridge,
+    drive_engine_with_kill,
+    eject_current_cartridge,
+    inject_disk_faults,
+)
+from repro.chaos.plan import (
+    KIND_CORRUPT,
+    KIND_CRASH,
+    KIND_DISK_FAIL,
+    KIND_EJECT,
+    KIND_TORN_CP,
+    TAPE_FAULTS,
+    ChaosPlan,
+    FaultSpec,
+)
+from repro.chaos.recover import (
+    RecoveryReport,
+    recover_crash,
+    replay_dump,
+)
+from repro.manager.campaign import DAILY_SNAPSHOT, CampaignDriver
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import get_tracer
+from repro.perf.executor import TimedRun
+from repro.workload.mutate import apply_mutations
+
+
+def _event(fault: FaultSpec, fsid: str, outcome: str,
+           recovery: Optional[RecoveryReport] = None,
+           extra: Optional[Dict] = None) -> Dict:
+    event = {
+        "day": fault.day,
+        "volume_index": fault.volume_index,
+        "fsid": fsid,
+        "fault_id": fault.fault_id,
+        "kind": fault.kind,
+        "params": dict(fault.params),
+        "outcome": outcome,
+    }
+    if recovery is not None:
+        event["recovery"] = recovery.to_dict()
+    if extra:
+        event.update(extra)
+    return event
+
+
+def run_volume_day_chaos(
+    fs,
+    tree,
+    strategy: str,
+    subtree: str,
+    level: int,
+    drive,
+    job_name: str,
+    snapshot_name: Optional[str],
+    base_snapshot: Optional[str],
+    mutation,
+    daily_snapshot: Optional[str],
+    dumpdates,
+    costs,
+    profile,
+    fault: Optional[FaultSpec],
+):
+    """One volume's day with at most one fault injected and recovered.
+
+    The faultless call (``fault=None``) is the oracle path; a fault that
+    cannot strike (a kill threshold beyond the dump's tape-op count, a
+    torn-CP fuse the CP never burned down, a crash with no NVRAM) is
+    recorded as a **miss** and the day proceeds normally — misses are
+    part of the deterministic event stream, not errors.
+
+    Recovery is time-neutral: a replayed dump's op stream stands in for
+    the faulted attempt's in the day's ``TimedRun``, so payload timings
+    match the oracle's and the cost of recovery shows up only in the
+    chaos events/metrics.  Returns ``(fs, tree, drive, payload, events)``.
+    """
+    events: List[Dict] = []
+    volume = fs.volume
+    fsid = volume.name
+
+    tape_fault = (fault if fault is not None and fault.kind in TAPE_FAULTS
+                  else None)
+    disk_fault = (fault if fault is not None and fault.kind == KIND_DISK_FAIL
+                  else None)
+    crash_fault = (fault if fault is not None
+                   and fault.kind in (KIND_CRASH, KIND_TORN_CP) else None)
+
+    if crash_fault is not None and fs.nvram is None:
+        events.append(_event(crash_fault, fsid, "miss",
+                             extra={"reason": "no_nvram"}))
+        crash_fault = None
+
+    # -- aging, possibly under power loss ---------------------------------
+    if crash_fault is not None:
+        nvram = fs.nvram
+        if mutation is not None:
+            # The crash window: the day's ops reach NVRAM but no CP.
+            apply_mutations(fs, tree, mutation, checkpoint=False)
+        torn = None
+        if crash_fault.kind == KIND_TORN_CP:
+            volume.arm_write_fuse(crash_fault.params["fuse_blocks"])
+            try:
+                fs.consistency_point()
+            except PowerLossError as exc:
+                torn = str(exc)
+            finally:
+                volume.disarm_write_fuse()
+            if torn is None:
+                # The CP finished before the fuse burned down: missed.
+                events.append(_event(crash_fault, fsid, "miss",
+                                     extra={"reason": "cp_outlived_fuse"}))
+                crash_fault = None
+        if crash_fault is not None:
+            fs.crash()
+            fs, report = recover_crash(volume, nvram, kind=crash_fault.kind)
+            if torn is not None:
+                report.details["torn_write"] = torn
+            events.append(_event(crash_fault, fsid, "hit", recovery=report))
+    elif mutation is not None:
+        apply_mutations(fs, tree, mutation)
+
+    if daily_snapshot is not None:
+        fs.snapshot_create(daily_snapshot)
+
+    # -- disk media errors, struck before the dump reads through them -----
+    injected = None
+    if disk_fault is not None:
+        injected = inject_disk_faults(volume, disk_fault.params["draws"])
+
+    # -- the dump, possibly dying mid-stream ------------------------------
+    snapshots_before = {record.name for record in fs.fsinfo.snapshots}
+    kill_after = (tape_fault.params["after_tape_ops"]
+                  if tape_fault is not None else None)
+    engine = build_dump_engine(
+        fs, drive, strategy, level=level, subtree=subtree,
+        dumpdates=dumpdates, snapshot_name=snapshot_name,
+        base_snapshot=base_snapshot, costs=costs,
+    )
+    attempt = drive_engine_with_kill(engine, kill_after,
+                                     checkpoint_volume=volume)
+    ops, data = attempt.ops, attempt.result
+
+    if tape_fault is not None:
+        if not attempt.killed:
+            events.append(_event(
+                tape_fault, fsid, "miss",
+                extra={"reason": "dump_only_has_%d_tape_ops"
+                       % attempt.tape_ops_seen}))
+        else:
+            damage = None
+            if tape_fault.kind == KIND_CORRUPT:
+                damage = corrupt_written_cartridge(
+                    drive, tape_fault.params["cartridge_back"],
+                    tape_fault.params["offset_frac"],
+                    tape_fault.params["xor"])
+            elif tape_fault.kind == KIND_EJECT:
+                damage = eject_current_cartridge(drive)
+            replayed, report = replay_dump(
+                fs, drive, tape_fault.kind, attempt.cache_checkpoint,
+                snapshots_before, strategy, level, subtree, dumpdates,
+                snapshot_name, base_snapshot, costs, damage=damage)
+            ops, data = replayed.ops, replayed.result
+            events.append(_event(tape_fault, fsid, "hit", recovery=report))
+
+    # -- RAID repair after the dump streamed through the bad blocks -------
+    if disk_fault is not None:
+        repaired = volume.repair_bad_blocks()
+        report = RecoveryReport(KIND_DISK_FAIL, "raid_reconstruct", {
+            "injected": injected, "repaired": repaired})
+        events.append(_event(disk_fault, fsid, "hit", recovery=report))
+
+    # -- timing, payload ---------------------------------------------------
+    run = TimedRun(profile)
+    job = run.add_ops(job_name, ops, data=data)
+    run.run()
+    if strategy == STRATEGY_LOGICAL:
+        date = data.date
+    else:
+        record = fs.fsinfo.find_snapshot(snapshot_name)
+        date = record.created if record else 0
+    payload = {
+        "name": job_name,
+        "date": date,
+        "start": job.start,
+        "end": job.end,
+        "bytes_to_tape": data.bytes_to_tape,
+        "files": data.files,
+        "blocks": data.blocks,
+    }
+    return fs, tree, drive, payload, events
+
+
+class ChaosCampaignDriver(CampaignDriver):
+    """A campaign driver that injects (and survives) planned faults.
+
+    Serial and parallel days both use per-volume ``TimedRun``\\ s over
+    disjoint drive partitions, and the parent merges results in
+    declaration order, so ``--jobs 1`` and ``--jobs N`` campaigns of the
+    same seed are byte-identical — including the fault event stream,
+    which the parent (single-threaded) assigns global sequence numbers
+    and appends to ``events_path`` as JSON lines.
+    """
+
+    def __init__(self, catalog, pool, plan: ChaosPlan,
+                 events_path: Optional[str] = None, **kwargs):
+        super().__init__(catalog, pool, **kwargs)
+        self.plan = plan
+        self.events_path = events_path
+        self.events: List[Dict] = []
+        self._event_seq = 0
+
+    def run_day(self) -> Dict[str, object]:
+        day = self.day
+        names = ["%s.d%02d" % (volume.fsid, day) for volume in self.volumes]
+        drives = self.pool.partitioned_drives(names)
+        staged = []
+        argslist = []
+        for index, (volume, drive) in enumerate(zip(self.volumes, drives)):
+            level = self._effective_level(
+                volume, volume.schedule.level_for(day))
+            snapshot_name = None
+            base_snapshot = None
+            if volume.strategy != STRATEGY_LOGICAL:
+                snapshot_name = "img.%s.d%d" % (volume.fsid, day)
+                if level > 0:
+                    base_snapshot = volume.base_snapshot_for(level)
+            argslist.append((
+                volume.fs, volume.tree, volume.strategy, volume.subtree,
+                level, drive, names[index], snapshot_name, base_snapshot,
+                self._mutation_config(day, index) if day > 0 else None,
+                DAILY_SNAPSHOT % day if self.keep_daily_snapshots else None,
+                (copy.deepcopy(self.catalog.dumpdates)
+                 if volume.strategy == STRATEGY_LOGICAL else None),
+                self.costs, self.profile,
+                self.plan.fault_for(day, index),
+            ))
+            staged.append((volume, level, snapshot_name, base_snapshot))
+
+        if self.jobs > 1 and len(self.volumes) > 1:
+            from repro.parallel import TaskPool, TaskSpec
+
+            specs = [TaskSpec(names[index], run_volume_day_chaos, args)
+                     for index, args in enumerate(argslist)]
+            values = TaskPool(self.jobs).map_values(specs)
+        else:
+            values = [run_volume_day_chaos(*args) for args in argslist]
+
+        results: Dict[str, object] = {}
+        for (volume, level, snapshot_name, base_snapshot), value in zip(
+                staged, values):
+            fs, tree, drive, payload, events = value
+            volume.fs = fs
+            volume.tree = tree
+            self.pool.adopt_cartridges(drive)
+            backup_set = self.catalog.record_set(
+                fsid=volume.fsid, subtree=volume.subtree,
+                strategy=volume.strategy, level=level, day=day,
+                date=payload["date"], snapshot=snapshot_name,
+                base_snapshot=base_snapshot,
+                start_time=payload["start"], end_time=payload["end"],
+                bytes_to_tape=payload["bytes_to_tape"],
+                files=payload["files"], blocks=payload["blocks"],
+                save=False,
+            )
+            self.pool.commit_job(drive, backup_set)
+            if volume.strategy != STRATEGY_LOGICAL:
+                volume.supersede_snapshots(level, snapshot_name,
+                                           payload["date"])
+            results[payload["name"]] = (backup_set, payload)
+            self._observe_day_job(volume, level, day, payload["name"],
+                                  payload["start"], payload["end"],
+                                  payload["bytes_to_tape"])
+            self._observe_chaos_events(events)
+        self.catalog.save()
+        self.day += 1
+        return results
+
+    def _observe_chaos_events(self, events: List[Dict]) -> None:
+        """Sequence, trace, meter, and persist one volume-day's events."""
+        tracer = get_tracer()
+        lines = []
+        for event in events:
+            self._event_seq += 1
+            event["seq"] = self._event_seq
+            self.events.append(event)
+            hit = event["outcome"] == "hit"
+            if tracer.enabled:
+                tracer.instant(
+                    "chaos.%s.%s" % (event["kind"], event["outcome"]),
+                    cat="chaos", tid=event["fsid"],
+                    args={"fault_id": event["fault_id"],
+                          "day": event["day"],
+                          "recovery": event.get("recovery", {}).get(
+                              "mechanism", "")})
+            if REGISTRY.enabled:
+                REGISTRY.counter("chaos.faults_planned").inc()
+                if hit:
+                    REGISTRY.counter("chaos.faults_injected").inc()
+                    REGISTRY.counter(
+                        "chaos.faults.%s" % event["kind"]).inc()
+                    REGISTRY.counter("chaos.recoveries").inc()
+                else:
+                    REGISTRY.counter("chaos.faults_missed").inc()
+            lines.append(json.dumps(event, sort_keys=True))
+        if lines and self.events_path:
+            with open(self.events_path, "a") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+
+
+def restore_drill(
+    catalog,
+    pool,
+    fsid: str,
+    subtree: str = "/",
+    day: Optional[int] = None,
+    strategy: Optional[str] = None,
+    kill_after_tape_ops: int = 3,
+    geometry=None,
+    costs=None,
+    name: Optional[str] = None,
+):
+    """Crash a restore mid-chain, then restore again from scratch.
+
+    Restores are idempotent replays of read-only tapes, so the recovery
+    mechanism for a filer that dies mid-restore is simply a fresh
+    restore: the partially written target volume is discarded, the
+    drives rewind, and the chain replays from the start.  Returns
+    ``(fs, plan, report)`` — ``fs`` holds the completed retry; callers
+    verify it against an uninterrupted oracle restore.
+    """
+    from repro.backup.logical.restore import LogicalRestore
+    from repro.backup.physical.image import ImageHeader
+    from repro.backup.physical.restore import ImageRestore
+    from repro.manager.campaign import restore_point_in_time
+    from repro.raid.layout import make_geometry
+    from repro.raid.volume import RaidVolume
+    from repro.wafl.filesystem import WaflFilesystem
+
+    plan = catalog.chain_for(fsid, subtree=subtree, target_day=day,
+                             strategy=strategy)
+    scratch_name = (name or "restore.%s" % fsid) + ".aborted"
+    if plan.strategy == STRATEGY_LOGICAL:
+        scratch_volume = RaidVolume(geometry or make_geometry(2, 4, 2500),
+                                    name=scratch_name)
+        scratch_fs = WaflFilesystem.format(scratch_volume)
+        engine = LogicalRestore(
+            scratch_fs, pool.drive_for_restore(plan.sets[0]), costs=costs,
+        ).run()
+    else:
+        probe = pool.drive_for_restore(plan.sets[0])
+        probe.rewind()
+        header = ImageHeader.unpack_from_stream(probe.read)
+        scratch_volume = RaidVolume(header.geometry, name=scratch_name)
+        engine = ImageRestore(
+            scratch_volume, pool.drive_for_restore(plan.sets[0]),
+            costs=costs,
+        ).run()
+    aborted = drive_engine_with_kill(engine, kill_after_tape_ops)
+    fs, plan = restore_point_in_time(
+        catalog, pool, fsid, subtree=subtree, day=day, strategy=strategy,
+        geometry=geometry, costs=costs, name=name)
+    report = RecoveryReport("restore_crash", "restart_restore", {
+        "aborted_after_tape_ops": aborted.tape_ops_seen,
+        "aborted_completed": aborted.result is not None,
+        "chain_sets": len(plan.sets),
+    })
+    return fs, plan, report
+
+
+__all__ = [
+    "ChaosCampaignDriver",
+    "restore_drill",
+    "run_volume_day_chaos",
+]

@@ -636,7 +636,15 @@ def cmd_prune(args) -> int:
     return 0
 
 
-def cmd_run_campaign(args) -> int:
+def _campaign_run_once(args, catalog_path, pool_path, volumes_dir,
+                       chaos_plan=None, events_path=None):
+    """Build, populate, and run one campaign; returns the artifacts.
+
+    The normal path uses :class:`CampaignDriver`; when ``chaos_plan`` is
+    given the chaos driver runs instead and every volume gets an NVRAM
+    log (crash faults replay it on recovery).  Returns ``(catalog,
+    driver, volume_paths)`` with every artifact durably saved.
+    """
     from repro.catalog import BackupCatalog
     from repro.manager import (
         CampaignDriver,
@@ -646,43 +654,137 @@ def cmd_run_campaign(args) -> int:
     )
     from repro.workload import WorkloadGenerator
 
-    _obs_begin(args)
-    catalog = BackupCatalog(args.catalog)
+    catalog = BackupCatalog(catalog_path)
     pool = MediaPool(catalog)
     pool.add_blank(args.tapes, capacity=_parse_size(args.tape_capacity))
     schedule = parse_schedule(args.schedule)
     if args.policy:
         parse_policy(args.policy)  # validate
-    driver = CampaignDriver(catalog, pool, seed=args.seed,
-                            keep_daily_snapshots=args.daily_snapshots,
-                            jobs=args.jobs)
-    if args.save_volumes:
-        os.makedirs(args.save_volumes, exist_ok=True)
+    if chaos_plan is not None:
+        from repro.chaos import ChaosCampaignDriver
+
+        driver = ChaosCampaignDriver(catalog, pool, chaos_plan,
+                                     events_path=events_path,
+                                     seed=args.seed,
+                                     keep_daily_snapshots=args.daily_snapshots,
+                                     jobs=args.jobs)
+    else:
+        driver = CampaignDriver(catalog, pool, seed=args.seed,
+                                keep_daily_snapshots=args.daily_snapshots,
+                                jobs=args.jobs)
+    if volumes_dir:
+        os.makedirs(volumes_dir, exist_ok=True)
     specs = []
     for index, spec in enumerate(args.volume):
-        if "=" not in spec:
-            print("repro-backup: --volume wants NAME=STRATEGY, got %r"
-                  % spec, file=sys.stderr)
-            return 2
         name, strategy = spec.split("=", 1)
         volume = RaidVolume(make_geometry(args.groups, args.disks,
                                           args.blocks), name=name)
-        fs = WaflFilesystem.format(volume)
+        if chaos_plan is not None:
+            from repro.nvram.log import NvramLog
+
+            fs = WaflFilesystem.format(volume, nvram=NvramLog())
+        else:
+            fs = WaflFilesystem.format(volume)
         generator = WorkloadGenerator(seed=args.seed + index)
         tree = generator.populate(fs, _parse_size(args.bytes))
         fs.consistency_point()
         driver.add_volume(fs, tree, strategy, schedule)
         if args.policy:
             catalog.set_policy(name, "/", args.policy, save=False)
-        specs.append((name, fs))
+        specs.append(name)
     driver.run(args.days)
-    pool.save(args.pool)
-    for name, fs in specs:
-        fs.consistency_point()
-        save_volume(fs.volume, os.path.join(args.save_volumes,
-                                            "%s.vol" % name))
+    pool.save(pool_path)
+    volume_paths = {}
+    # Save through the driver's handles: a crash fault replaces a
+    # volume's filesystem object with the recovered mount.
+    for name, state in zip(specs, driver.volumes):
+        state.fs.consistency_point()
+        path = os.path.join(volumes_dir, "%s.vol" % name)
+        save_volume(state.fs.volume, path)
+        volume_paths[name] = path
+    return catalog, driver, volume_paths
+
+
+def _run_campaign_chaos(args) -> int:
+    """The ``--chaos`` path: chaos campaign + fault-free oracle + verify.
+
+    Two campaigns run with identical workload seeds: the oracle with the
+    fault plan disabled (at ``<catalog>.oracle`` sibling paths) and the
+    chaos campaign with it live (at the real paths).  Afterwards every
+    durable artifact — catalog, media pool, each volume image — is
+    digest-compared; any divergence means a recovery mechanism failed to
+    restore byte-identical state, and the command exits nonzero.
+    """
+    from repro.chaos import (
+        ChaosPlan,
+        campaign_state_digests,
+        compare_digests,
+    )
+
+    chaos_seed = (args.chaos_seed if args.chaos_seed is not None
+                  else args.seed)
+    plan_kwargs = {"rate": args.chaos_rate}
+    if args.chaos_kinds:
+        plan_kwargs["kinds"] = tuple(args.chaos_kinds.split(","))
+    oracle_plan = ChaosPlan(chaos_seed, enabled=False, **plan_kwargs)
+    chaos_plan = ChaosPlan(chaos_seed, **plan_kwargs)
+    events_path = args.chaos_events or (args.catalog + ".chaos.jsonl")
+    with open(events_path, "w"):
+        pass  # truncate: the driver appends one line per fault event
+
+    oracle_dir = os.path.join(args.save_volumes or ".", "oracle")
+    _, _, oracle_volumes = _campaign_run_once(
+        args, args.catalog + ".oracle", args.pool + ".oracle", oracle_dir,
+        chaos_plan=oracle_plan)
+    catalog, driver, volume_paths = _campaign_run_once(
+        args, args.catalog, args.pool, args.save_volumes or ".",
+        chaos_plan=chaos_plan, events_path=events_path)
+
+    hits = [e for e in driver.events if e["outcome"] == "hit"]
+    misses = [e for e in driver.events if e["outcome"] == "miss"]
+    by_kind = {}
+    for event in hits:
+        by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+    print("chaos: seed %d, %d fault(s) injected, %d missed (%s)"
+          % (chaos_seed, len(hits), len(misses),
+             ", ".join("%s=%d" % kv for kv in sorted(by_kind.items()))
+             or "none"))
+    print("chaos: events -> %s" % events_path)
+
+    oracle = campaign_state_digests(args.catalog + ".oracle",
+                                    args.pool + ".oracle", oracle_volumes)
+    recovered = campaign_state_digests(args.catalog, args.pool,
+                                       volume_paths)
+    mismatches = compare_digests(oracle, recovered)
+    if mismatches:
+        for key, left, right in mismatches:
+            print("chaos: MISMATCH %s\n  oracle    %s\n  recovered %s"
+                  % (key, left, right), file=sys.stderr)
+        print("chaos: recovered state DIVERGES from the fault-free oracle"
+              " in %d artifact(s)" % len(mismatches), file=sys.stderr)
+        return 1
+    print("chaos: recovered state byte-identical to the fault-free oracle"
+          " across %d artifact(s)" % len(oracle))
     print("campaign: %d day(s), %d volume(s), %d set(s) catalogued"
-          % (args.days, len(specs), len(catalog.sets)))
+          % (args.days, len(args.volume), len(catalog.sets)))
+    return 0
+
+
+def cmd_run_campaign(args) -> int:
+    for spec in args.volume:
+        if "=" not in spec:
+            print("repro-backup: --volume wants NAME=STRATEGY, got %r"
+                  % spec, file=sys.stderr)
+            return 2
+    _obs_begin(args)
+    if args.chaos:
+        code = _run_campaign_chaos(args)
+        _obs_end(args)
+        return code
+    catalog, _driver, _paths = _campaign_run_once(
+        args, args.catalog, args.pool, args.save_volumes or ".")
+    print("campaign: %d day(s), %d volume(s), %d set(s) catalogued"
+          % (args.days, len(args.volume), len(catalog.sets)))
     for fsid, subtree in catalog.volumes():
         sets = catalog.sets_for(fsid, subtree)
         total = sum(s.bytes_to_tape for s in sets)
@@ -827,6 +929,13 @@ def cmd_fleet_status(args) -> int:
         print("  %-12s lane=%-11s %2d live set(s)  %10s to tape%s"
               % (tenant["name"], tenant["lane"], tenant["live_sets"],
                  fmt_bytes(tenant["bytes_to_tape"]), flag))
+    chaos = document.get("chaos", {})
+    if chaos.get("planned"):
+        kinds = ", ".join("%s=%d" % kv
+                          for kv in sorted(chaos["by_kind"].items()))
+        print("  chaos: %d fault(s) planned, %d injected, %d missed%s"
+              % (chaos["planned"], chaos["injected"], chaos["missed"],
+                 " (%s)" % kinds if kinds else ""))
     pending = document["jobs"]["pending"]
     if pending:
         print("  pending: %s" % ", ".join(
@@ -1121,6 +1230,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="age/dump volumes in N worker processes (catalog"
                         " commits stay ordered and single-writer)")
+    p.add_argument("--chaos", action="store_true",
+                   help="inject a deterministic fault campaign, recover"
+                        " every fault, and verify the recovered state"
+                        " byte-identical to a fault-free oracle run")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="fault-plan seed (defaults to --seed; the plan is"
+                        " a pure function of this seed)")
+    p.add_argument("--chaos-rate", type=float, default=0.5,
+                   help="per volume-day fault probability (default 0.5)")
+    p.add_argument("--chaos-kinds", default=None,
+                   metavar="KIND[,KIND...]",
+                   help="restrict faults to these kinds (default: all of"
+                        " kill,corrupt,eject,disk_fail,crash,torn_cp)")
+    p.add_argument("--chaos-events", default=None, metavar="OUT.jsonl",
+                   help="fault/recovery event log (default:"
+                        " <catalog>.chaos.jsonl)")
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_run_campaign)
 

@@ -92,9 +92,22 @@ class WorkloadError(ReproError):
     """Workload generator misconfiguration."""
 
 
+class PowerLossError(StorageError):
+    """A write was torn by simulated power loss (chaos write fuse)."""
+
+
+class ChaosFault(ReproError):
+    """An injected fault fired; carries the fault spec that caused it."""
+
+    def __init__(self, message: str, fault=None):
+        super().__init__(message)
+        self.fault = fault
+
+
 __all__ = [
     "BackupError",
     "CatalogError",
+    "ChaosFault",
     "CrossLinkError",
     "ExistsError",
     "FilesystemError",
@@ -107,6 +120,7 @@ __all__ = [
     "NotADirectoryError_",
     "NotEmptyError",
     "NotFoundError",
+    "PowerLossError",
     "RaidError",
     "ReproError",
     "SnapshotError",

@@ -35,6 +35,7 @@ from repro.fleet.tenant import (
 from repro.fleet.api import (
     make_server,
     serve,
+    chaos_summary,
     status_document,
     validate_status,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "LANES",
     "Tenant",
     "TenantSpec",
+    "chaos_summary",
     "export_fleet_trace",
     "load_fleet_spec",
     "load_state",

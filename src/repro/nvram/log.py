@@ -21,14 +21,25 @@ OP_OVERHEAD = 128
 
 
 class LoggedOp:
-    """One replayable operation: a method name plus its arguments."""
+    """One replayable operation: a method name plus its arguments.
 
-    __slots__ = ("method", "args", "kwargs", "nbytes")
+    ``epoch`` stamps the consistency-point count at logging time.  Replay
+    skips ops whose epoch predates the mounted root's ``cp_count``: those
+    ops are already durable — a crash that lands *between* the root
+    structure write and :meth:`NvramLog.switch_halves` would otherwise
+    replay them a second time onto state that already contains them.
+    ``None`` (the default) means "always replay", preserving the behavior
+    of ops constructed without an epoch.
+    """
 
-    def __init__(self, method: str, args: Tuple, kwargs: Dict[str, Any]):
+    __slots__ = ("method", "args", "kwargs", "nbytes", "epoch")
+
+    def __init__(self, method: str, args: Tuple, kwargs: Dict[str, Any],
+                 epoch: int = None):
         self.method = method
         self.args = args
         self.kwargs = kwargs
+        self.epoch = epoch
         payload = 0
         for value in list(args) + list(kwargs.values()):
             if isinstance(value, (bytes, bytearray)):
@@ -38,7 +49,8 @@ class LoggedOp:
         self.nbytes = OP_OVERHEAD + payload
 
     def __repr__(self) -> str:
-        return "<LoggedOp %s nbytes=%d>" % (self.method, self.nbytes)
+        return "<LoggedOp %s nbytes=%d epoch=%r>" % (
+            self.method, self.nbytes, self.epoch)
 
 
 class NvramLog:

@@ -327,6 +327,30 @@ class RaidGroup:
         self.data_disks[disk_index] = spare
         return spare
 
+    def repair_block(self, disk_index: int, stripe: int) -> bytes:
+        """Reconstruct one bad stripe member and write it back in place.
+
+        The in-place counterpart to :meth:`rebuild_disk` for a single
+        media error: parity reconstruction recovers the lost contents and
+        the write-back clears the disk's fault mark, so the group returns
+        to clean with contents bit-identical to the pre-fault state.
+        Returns the recovered block.
+        """
+        if not 0 <= disk_index < len(self.data_disks):
+            raise RaidError("no data disk %d in %r" % (disk_index, self.name))
+        data = self._reconstruct(disk_index, stripe)
+        self.data_disks[disk_index].write_block(stripe, data)
+        return data
+
+    def bad_blocks(self) -> List:
+        """Every injected media error: (disk_index, stripe) pairs, sorted
+        (parity disk reported as disk_index -1)."""
+        found = [(index, stripe)
+                 for index, disk in enumerate(self.data_disks)
+                 for stripe in sorted(disk._bad)]
+        found.extend((-1, stripe) for stripe in sorted(self.parity_disk._bad))
+        return found
+
     def scrub(self) -> int:
         """Recompute parity for every stripe; returns stripes repaired."""
         repaired = 0

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
-from repro.errors import RaidError
+from repro.errors import PowerLossError, RaidError
 from repro.obs.metrics import REGISTRY
-from repro.raid.group import RaidGroup
+from repro.raid.group import RaidGroup, _xor2
 from repro.raid.layout import BlockLocation, VolumeGeometry, locate
 from repro.storage.device import IoRecorder
 
@@ -46,6 +46,10 @@ class RaidVolume:
         # When True, reads bypass the cache entirely (image dump's
         # "bypass the file system" path still records every block).
         self.uncached_reads = False
+        # Chaos write fuse: None when disarmed (the normal state); an
+        # armed fuse counts down block writes and tears the write that
+        # crosses zero (see :meth:`arm_write_fuse`).
+        self._write_fuse: Optional[int] = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -94,6 +98,8 @@ class RaidVolume:
             raise RaidError(
                 "write of %d bytes to %d-byte block" % (len(data), self.block_size)
             )
+        if self._write_fuse is not None:
+            self._fuse_spend(volume_block, data, 1)
         loc = self.locate(volume_block)
         self.groups[loc.group_index].write_block(loc.group_block, data)
         if self.cache is not None:
@@ -189,6 +195,8 @@ class RaidVolume:
         if len(data) % self.block_size:
             raise RaidError("run write is not block aligned")
         nblocks = len(data) // self.block_size
+        if self._write_fuse is not None:
+            self._fuse_spend(start_block, data, nblocks)
         offset = 0
         for group, group_block, count in self._pieces(start_block, nblocks):
             group.write_run(group_block, data, offset, count)
@@ -200,6 +208,77 @@ class RaidVolume:
         if REGISTRY.enabled:
             REGISTRY.counter("volume.write_runs").inc()
             REGISTRY.counter("volume.write_blocks").inc(nblocks)
+
+    # -- chaos fault surface --------------------------------------------------
+
+    def arm_write_fuse(self, nblocks: int) -> None:
+        """Arm the torn-write fuse: the ``nblocks``-th block write from now
+        tears halfway through (first half new bytes, second half old) and
+        raises :class:`PowerLossError`; later writes raise immediately —
+        the power is off until :meth:`disarm_write_fuse`.
+        """
+        if nblocks < 1:
+            raise RaidError("write fuse needs a positive countdown")
+        self._write_fuse = nblocks
+
+    def disarm_write_fuse(self) -> None:
+        self._write_fuse = None
+
+    def _fuse_spend(self, start_block: int, data, nblocks: int) -> None:
+        fuse = self._write_fuse
+        if fuse <= 0:
+            raise PowerLossError(
+                "power is off: write to block %d of %r dropped"
+                % (start_block, self.name))
+        if nblocks < fuse:
+            self._write_fuse = fuse - nblocks
+            return
+        # This request crosses the fuse: the first fuse-1 blocks land
+        # whole, the fuse-th block tears mid-transfer, the rest is lost.
+        bs = self.block_size
+        view = memoryview(data)
+        whole = fuse - 1
+        torn_index = start_block + whole
+        self._write_fuse = None
+        try:
+            if whole:
+                self.write_run(start_block, bytes(view[: whole * bs]))
+            old = self.read_run(torn_index, 1)
+            new = view[whole * bs : (whole + 1) * bs]
+            torn = bytes(new[: bs // 2]) + bytes(old[bs // 2 :])
+            self.write_block(torn_index, torn)
+        finally:
+            self._write_fuse = 0
+        raise PowerLossError(
+            "torn write at block %d of %r" % (torn_index, self.name))
+
+    def bad_blocks(self) -> List[Tuple[int, int, int]]:
+        """Every injected media error as (group, disk_index, stripe)."""
+        return [(gi, disk_index, stripe)
+                for gi, group in enumerate(self.groups)
+                for disk_index, stripe in group.bad_blocks()]
+
+    def repair_bad_blocks(self) -> int:
+        """Reconstruct-and-rewrite every injected media error in place.
+
+        Data-disk faults recover through parity (:meth:`RaidGroup.repair_block`);
+        parity-disk faults recover by recomputing parity from the data
+        members.  Returns the number of blocks repaired; contents are
+        bit-identical to the pre-fault state, so a repaired volume matches
+        a never-faulted one.
+        """
+        repaired = 0
+        for group in self.groups:
+            for disk_index, stripe in group.bad_blocks():
+                if disk_index < 0:
+                    acc = bytes(group.block_size)
+                    for disk in group.data_disks:
+                        acc = _xor2(acc, disk.read_block(stripe))
+                    group.parity_disk.write_block(stripe, acc)
+                else:
+                    group.repair_block(disk_index, stripe)
+                repaired += 1
+        return repaired
 
     # -- maintenance ---------------------------------------------------------
 
@@ -227,6 +306,7 @@ class RaidVolume:
         other.recorder = None
         other.cache = self.cache.clone() if self.cache is not None else None
         other.uncached_reads = self.uncached_reads
+        other._write_fuse = None
         return other
 
     def snapshot_blocks(self, blocks: Iterable[int]) -> dict:

@@ -66,6 +66,10 @@ class VirtualDisk:
         # a write to a shared chunk copies it private first.
         self._shared: Set[int] = set()
         self._bad: Set[int] = set()
+        # True while _bad is a buffer shared with a clone(); any mutation
+        # copies it private first (the fault set is copy-on-write, exactly
+        # like the chunk store).
+        self._bad_shared = False
         self.reads = 0
         self.writes = 0
         self._zero = bytes(block_size)
@@ -121,8 +125,9 @@ class VirtualDisk:
             rebuilt[ci] = memoryview(arr)
         self._chunks = rebuilt
         # Rebuilt chunks are private copies regardless of what the source
-        # shared at pickling time.
+        # shared at pickling time; same for the fault set.
         self._shared = set()
+        self._bad_shared = False
 
     def _check(self, block: int) -> None:
         if not 0 <= block < self.nblocks:
@@ -150,6 +155,15 @@ class VirtualDisk:
         self._shared.discard(chunk_index)
         return chunk
 
+    def _private_bad(self) -> Set[int]:
+        """Copy-on-first-mutation for the fault set: a clone and its source
+        share one set until either side injects, heals, or overwrites a
+        fault."""
+        if self._bad_shared:
+            self._bad = set(self._bad)
+            self._bad_shared = False
+        return self._bad
+
     def read_block(self, block: int) -> bytes:
         """Return the 4 KB contents of ``block`` (zeros if never written)."""
         self._check(block)
@@ -170,8 +184,8 @@ class VirtualDisk:
                 "short write: %d bytes to %d-byte block" % (len(data), self.block_size)
             )
         self.writes += 1
-        if self._bad:
-            self._bad.discard(block)
+        if self._bad and block in self._bad:
+            self._private_bad().discard(block)
         cb = self._chunk_blocks
         ci = block // cb
         chunk = self._chunks.get(ci)
@@ -259,6 +273,7 @@ class VirtualDisk:
         end = start_block + nblocks
         if self._bad:
             self._bad = {b for b in self._bad if not start_block <= b < end}
+            self._bad_shared = False
         chunks = self._chunks
         cb = self._chunk_blocks
         block = start_block
@@ -372,11 +387,12 @@ class VirtualDisk:
     def fail_block(self, block: int) -> None:
         """Inject a media error: subsequent reads of ``block`` raise."""
         self._check(block)
-        self._bad.add(block)
+        self._private_bad().add(block)
 
     def heal_block(self, block: int) -> None:
         self._check(block)
-        self._bad.discard(block)
+        if block in self._bad:
+            self._private_bad().discard(block)
 
     def clone_empty(self) -> "VirtualDisk":
         """A fresh disk of identical geometry."""
@@ -397,7 +413,11 @@ class VirtualDisk:
         other = VirtualDisk.__new__(VirtualDisk)
         other.__dict__.update(self.__dict__)
         other._chunks = dict(self._chunks)
-        other._bad = set(self._bad)
+        # The fault set is shared copy-on-write too: either side's first
+        # fail/heal/overwrite copies it private (see :meth:`_private_bad`),
+        # so a fault injected in a clone never leaks to the parent.
+        self._bad_shared = True
+        other._bad_shared = True
         # Every materialized chunk is now shared between the two sides
         # (re-marking chunks already shared with an older clone is a
         # no-op: they were copy-protected before and stay so).

@@ -136,6 +136,8 @@ class WaflFilesystem:
         self._free_ino_heap: List[int] = []
         self._ino_watermark = FIRST_USER_INO
         self._replaying = False
+        # Redundant fsinfo copies rewritten at mount (torn/stale copy).
+        self.fsinfo_repairs = 0
         self.counters: Dict[str, int] = {
             "cp_count": 0,
             "files_created": 0,
@@ -143,6 +145,7 @@ class WaflFilesystem:
             "bytes_written": 0,
             "bytes_read": 0,
             "namei_lookups": 0,
+            "nvram_ops_skipped": 0,
         }
 
     # ------------------------------------------------------------------
@@ -203,7 +206,7 @@ class WaflFilesystem:
         root structure and replay the operations logged since the last CP.
         """
         cls._attach_cache(volume, cache_blocks)
-        fsinfo = FsInfo.read_from(volume)
+        fsinfo, fsinfo_repairs = FsInfo.read_and_repair(volume)
         if fsinfo.block_size != volume.block_size or fsinfo.nblocks != volume.nblocks:
             raise FilesystemError("volume geometry does not match fsinfo")
         # Bootstrap: read the block-map file through the inode file with a
@@ -213,6 +216,7 @@ class WaflFilesystem:
         bm_inode = fs._load_inode(INO_BLOCKMAP)
         raw = fs._read_tree_bytes(bm_inode)
         fs.blockmap = BlockMap.deserialize(volume.nblocks, RESERVED_BLOCKS, raw)
+        fs.fsinfo_repairs = fsinfo_repairs
         fs._scan_inodes()
         if nvram is not None and len(nvram):
             fs._replay_nvram()
@@ -243,6 +247,15 @@ class WaflFilesystem:
         self._replaying = True
         try:
             for op in self.nvram.pending_ops():
+                # An op whose epoch predates the mounted cp_count is
+                # already durable: the crash landed between the root
+                # structure write and the NVRAM half switch, so replaying
+                # it would apply it twice (e.g. re-create an existing
+                # path).  Epoch-less ops always replay.
+                epoch = getattr(op, "epoch", None)
+                if epoch is not None and epoch < self.fsinfo.cp_count:
+                    self.counters["nvram_ops_skipped"] += 1
+                    continue
                 method = getattr(self, op.method)
                 method(*op.args, **op.kwargs)
         finally:
@@ -278,6 +291,7 @@ class WaflFilesystem:
         fs._free_ino_heap = list(self._free_ino_heap)
         fs._ino_watermark = self._ino_watermark
         fs._replaying = False
+        fs.fsinfo_repairs = self.fsinfo_repairs
         fs.counters = dict(self.counters)
         return fs
 
@@ -454,10 +468,12 @@ class WaflFilesystem:
     def _log_op(self, method: str, *args, **kwargs) -> None:
         if self.nvram is None or self._replaying:
             return
-        op = LoggedOp(method, args, kwargs)
+        op = LoggedOp(method, args, kwargs, epoch=self.fsinfo.cp_count)
         if not self.nvram.try_append(op):
             # Log half full: take a consistency point, then the op fits.
+            # The op lands after that CP, so it carries the new epoch.
             self.consistency_point()
+            op.epoch = self.fsinfo.cp_count
             if not self.nvram.try_append(op):
                 raise FilesystemError("NVRAM log cannot hold operation")
 

@@ -207,19 +207,52 @@ class FsInfo:
     @classmethod
     def read_from(cls, volume) -> "FsInfo":
         """Read fsinfo, falling back to the redundant copy on corruption."""
+        info, _repaired = cls.read_and_repair(volume, repair=False)
+        return info
+
+    @classmethod
+    def read_and_repair(cls, volume, repair: bool = True):
+        """Read fsinfo and (optionally) repair a torn or stale copy.
+
+        A crash between the two copy writes leaves the copies divergent:
+        one torn (checksum fails) or stale (older ``cp_count``).  The
+        winner is the valid copy with the highest ``cp_count``; with
+        ``repair`` the losing copy is rewritten from the winner, so the
+        volume converges to the state a clean shutdown would have left.
+        Returns ``(info, copies_repaired)``.
+        """
         block_size = volume.block_size
+        copies = []
         errors = []
         for base in (FSINFO_PRIMARY, FSINFO_BACKUP):
             raw = b"".join(
                 volume.read_block(base + i) for i in range(FSINFO_BLOCKS)
             )
             try:
-                return cls.unpack(raw)
+                copies.append((base, raw, cls.unpack(raw)))
             except FilesystemError as exc:
+                copies.append((base, raw, None))
                 errors.append(exc)
-        raise FilesystemError(
-            "both fsinfo copies unreadable: %s / %s" % (errors[0], errors[1])
-        )
+        valid = [entry for entry in copies if entry[2] is not None]
+        if not valid:
+            raise FilesystemError(
+                "both fsinfo copies unreadable: %s / %s" % (errors[0], errors[1])
+            )
+        # Highest cp_count wins; on a tie the primary does (stable order).
+        base, raw, info = max(valid, key=lambda entry: entry[2].cp_count)
+        repaired = 0
+        if repair:
+            image = info.pack()
+            for other_base, other_raw, _other in copies:
+                if other_base == base or other_raw == image:
+                    continue
+                for i in range(FSINFO_BLOCKS):
+                    volume.write_block(
+                        other_base + i,
+                        image[i * block_size : (i + 1) * block_size],
+                    )
+                repaired += 1
+        return info, repaired
 
 
 __all__ = ["FsInfo", "SnapshotRecord"]

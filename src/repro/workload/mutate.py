@@ -34,8 +34,14 @@ class MutationConfig:
 
 
 def apply_mutations(fs, tree: GeneratedTree, config: MutationConfig = None,
-                    sizes: FileSizeDistribution = None) -> Dict[str, List[str]]:
-    """Mutate; returns {modified, deleted, created, renamed} path lists."""
+                    sizes: FileSizeDistribution = None,
+                    checkpoint: bool = True) -> Dict[str, List[str]]:
+    """Mutate; returns {modified, deleted, created, renamed} path lists.
+
+    ``checkpoint=False`` leaves the mutations uncommitted (no trailing
+    consistency point), so the NVRAM log still holds the day's operations
+    — the window chaos campaigns crash into.
+    """
     config = config or MutationConfig()
     sizes = sizes or FileSizeDistribution()
     rng = random.Random(config.seed)
@@ -105,7 +111,8 @@ def apply_mutations(fs, tree: GeneratedTree, config: MutationConfig = None,
         except Exception:
             continue
 
-    fs.consistency_point()
+    if checkpoint:
+        fs.consistency_point()
     return report
 
 

@@ -157,6 +157,127 @@ class TestCrashRecovery:
         assert loaded.sets == {}  # nothing was compacted into the image
 
 
+class TestBatchAtomicity:
+    """One commit = one ``batch`` line: torn writes lose all or nothing.
+
+    The half-commit this guards against: a backup set upserted without
+    the cartridge records its chain needs, which a later ``chain_for``
+    would hand to a restore that then can't find its media.
+    """
+
+    def build_two_commits(self, tmp_path):
+        catalog, path = journaled_catalog(tmp_path)
+        catalog.save()
+        catalog.register_cartridge(100, label="T1")
+        first = catalog.record_set("home", "/", "logical", 0, 1, 100,
+                                   cartridges=["T1"], save=False)
+        catalog.commit_dirty()
+        catalog.register_cartridge(100, label="T2")
+        second = catalog.record_set("home", "/", "logical", 1, 2, 200,
+                                    cartridges=["T2"], save=False)
+        catalog.commit_dirty()
+        return path, first.set_id, second.set_id
+
+    def test_one_commit_is_one_line(self, tmp_path):
+        path, _, _ = self.build_two_commits(tmp_path)
+        with open(journal_path(path)) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert [line["op"] for line in lines] == ["batch", "batch"]
+        # Each batch carries the whole commit: meta + set + media.
+        assert all(len(line["records"]) == 3 for line in lines)
+
+    def test_torn_write_at_every_offset_is_all_or_nothing(self, tmp_path):
+        path, first, second = self.build_two_commits(tmp_path)
+        journal = journal_path(path)
+        with open(journal, "rb") as handle:
+            blob = handle.read()
+        last_line_start = blob.rstrip(b"\n").rfind(b"\n") + 1
+        for cut in range(last_line_start, len(blob) + 1):
+            with open(journal, "wb") as handle:
+                handle.write(blob[:cut])
+            loaded = BackupCatalog.load(path)
+            chain = [s.set_id for s in loaded.chain_for("home").sets]
+            if cut < len(blob):
+                # Torn second commit: no trace of it may surface —
+                # not the set, not its cartridge, not the id counter.
+                assert sorted(loaded.sets) == [first]
+                assert sorted(loaded.media) == ["T1"]
+                assert chain == [first]
+                assert loaded.next_set == 2
+            else:
+                assert sorted(loaded.sets) == sorted([first, second])
+                assert sorted(loaded.media) == ["T1", "T2"]
+                assert chain == [first, second]
+
+    def test_crash_before_deferred_sync_never_half_commits(self, tmp_path):
+        # commit_dirty(sync=False) leaves the fsync to sync_journal; a
+        # crash in that window can persist any byte prefix of the
+        # commit's line.  chain_for must see the whole commit or none.
+        path, first, _ = self.build_two_commits(tmp_path)
+        catalog = BackupCatalog.load(path).use_journal()
+        catalog.register_cartridge(100, label="T3")
+        third = catalog.record_set("home", "/", "logical", 2, 3, 300,
+                                   cartridges=["T3"], save=False)
+        catalog.commit_dirty(sync=False)
+        journal = journal_path(path)
+        with open(journal, "rb") as handle:
+            blob = handle.read()
+        last_line_start = blob.rstrip(b"\n").rfind(b"\n") + 1
+        for cut in (last_line_start, last_line_start + 1,
+                    (last_line_start + len(blob)) // 2, len(blob) - 1):
+            with open(journal, "wb") as handle:
+                handle.write(blob[:cut])
+            loaded = BackupCatalog.load(path)
+            assert third.set_id not in loaded.sets
+            assert "T3" not in loaded.media
+            chain = loaded.chain_for("home")
+            assert [s.set_id for s in chain.sets] != [third.set_id]
+            assert all(label != "T3" for label in chain.cartridges)
+
+    def test_batch_records_weigh_toward_compaction(self, tmp_path):
+        # Compaction triggers on upsert count, not line count: two
+        # 3-record batches cross a threshold of 5.
+        catalog, path = journaled_catalog(tmp_path, compact_after=5)
+        catalog.save()
+        for day in range(2):
+            catalog.register_cartridge(100, label="T%d" % day)
+            catalog.record_set("home", "/", "logical", 0, day, 100 + day,
+                               cartridges=["T%d" % day], save=False)
+            catalog.commit_dirty()
+        catalog.record_set("home", "/", "logical", 0, 2, 102, save=False)
+        catalog.commit_dirty()  # 6 >= 5: folds into the image
+        assert os.path.getsize(journal_path(path)) == 0
+        assert sorted(BackupCatalog.load(path).sets) == [
+            "S0001", "S0002", "S0003"]
+
+    def test_batch_may_not_nest_or_hold_unknown_ops(self):
+        from repro.catalog.journal import encode_record
+        with pytest.raises(ValueError):
+            encode_record({"op": "batch",
+                           "records": [{"op": "batch", "records": []}]})
+        with pytest.raises(ValueError):
+            encode_record({"op": "batch", "records": [{"op": "shred"}]})
+
+    def test_legacy_bare_records_still_replay(self, tmp_path):
+        # Journals written before batch commits (one upsert per line)
+        # must keep loading.
+        catalog, path = journaled_catalog(tmp_path)
+        catalog.save()
+        scratch = BackupCatalog()
+        cartridge = scratch.register_cartridge(100, label="T1")
+        backup_set = record_day(scratch, 0)
+        journal = CatalogJournal(journal_path(path))
+        journal.append([
+            {"op": "meta", "next_set": 2, "next_cartridge": 2},
+            {"op": "media", "data": cartridge.to_dict()},
+            {"op": "set", "data": backup_set.to_dict()},
+        ])
+        loaded = BackupCatalog.load(path)
+        assert sorted(loaded.sets) == ["S0001"]
+        assert sorted(loaded.media) == ["T1"]
+        assert loaded.next_set == 2
+
+
 def _journal_append_worker(path, writer, rounds):
     journal = CatalogJournal(path)
     for index in range(rounds):

@@ -1,0 +1,35 @@
+"""Property: random fault interleavings still converge to the oracle.
+
+Several chaos seeds, each planning a different random interleaving of
+disk failures, cartridge ejects, and filer crashes across a multi-day
+GFS campaign, must all finish byte-identical to the fault-free oracle
+of the same workload seeds — volume contents, catalog, and media state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ChaosPlan, compare_digests
+from repro.chaos.plan import KIND_CRASH, KIND_DISK_FAIL, KIND_EJECT
+
+from tests.chaos.conftest import run_chaos_campaign
+
+DAYS = 5
+KINDS = (KIND_DISK_FAIL, KIND_EJECT, KIND_CRASH)
+
+
+@pytest.fixture(scope="module")
+def oracle(tmp_path_factory):
+    plan = ChaosPlan(0, rate=1.0, kinds=KINDS, enabled=False)
+    return run_chaos_campaign(
+        str(tmp_path_factory.mktemp("prop_oracle")), plan, days=DAYS)
+
+
+@pytest.mark.parametrize("chaos_seed", [3, 11, 29])
+def test_interleaving_converges_to_oracle(tmp_path, oracle, chaos_seed):
+    plan = ChaosPlan(chaos_seed, rate=1.0, kinds=KINDS)
+    chaos = run_chaos_campaign(str(tmp_path), plan, days=DAYS)
+    hits = [e for e in chaos.events if e["outcome"] == "hit"]
+    assert hits, "seed %d planned no strikeable faults" % chaos_seed
+    assert compare_digests(oracle.digests(), chaos.digests()) == []

@@ -67,6 +67,64 @@ class TestVirtualDisk:
         assert not clone.is_allocated(0)
 
 
+class TestCloneFaultIsolation:
+    """clone() copies the fault set copy-on-write, like the contents."""
+
+    def test_clone_inherits_existing_faults(self):
+        disk = VirtualDisk(10)
+        disk.fail_block(3)
+        clone = disk.clone()
+        with pytest.raises(StorageError):
+            clone.read_block(3)
+
+    def test_fault_in_clone_never_leaks_to_parent(self):
+        disk = VirtualDisk(10)
+        disk.write_block(2, b"p" * DEFAULT_BLOCK_SIZE)
+        clone = disk.clone()
+        clone.fail_block(2)
+        with pytest.raises(StorageError):
+            clone.read_block(2)
+        assert disk.read_block(2) == b"p" * DEFAULT_BLOCK_SIZE
+
+    def test_fault_in_parent_never_leaks_to_clone(self):
+        disk = VirtualDisk(10)
+        disk.write_block(2, b"p" * DEFAULT_BLOCK_SIZE)
+        clone = disk.clone()
+        disk.fail_block(2)
+        with pytest.raises(StorageError):
+            disk.read_block(2)
+        assert clone.read_block(2) == b"p" * DEFAULT_BLOCK_SIZE
+
+    def test_heal_in_clone_keeps_parent_fault(self):
+        disk = VirtualDisk(10)
+        disk.fail_block(5)
+        clone = disk.clone()
+        clone.heal_block(5)
+        assert clone.read_block(5) == bytes(DEFAULT_BLOCK_SIZE)
+        with pytest.raises(StorageError):
+            disk.read_block(5)
+
+    def test_overwrite_in_clone_keeps_parent_fault(self):
+        # write_block clears a fault on the written side only.
+        disk = VirtualDisk(10)
+        disk.fail_block(7)
+        clone = disk.clone()
+        clone.write_block(7, b"c" * DEFAULT_BLOCK_SIZE)
+        assert clone.read_block(7) == b"c" * DEFAULT_BLOCK_SIZE
+        with pytest.raises(StorageError):
+            disk.read_block(7)
+
+    def test_clone_of_clone_isolates_faults_transitively(self):
+        disk = VirtualDisk(10)
+        first = disk.clone()
+        second = first.clone()
+        second.fail_block(1)
+        with pytest.raises(StorageError):
+            second.read_block(1)
+        assert first.read_block(1) == bytes(DEFAULT_BLOCK_SIZE)
+        assert disk.read_block(1) == bytes(DEFAULT_BLOCK_SIZE)
+
+
 class TestDiskModel:
     def test_sequential_read_has_no_positioning(self):
         model = DiskModel(ndisks=10)
